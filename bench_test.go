@@ -1,0 +1,206 @@
+// Package crowdram's root benchmarks regenerate every table and figure of
+// the paper's evaluation at a reduced scale (exp.QuickScale) and report the
+// headline numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a smoke-level reproduction run. cmd/crowbench runs the same
+// experiments at full scale.
+package crowdram
+
+import (
+	"sync"
+	"testing"
+
+	"crowdram/internal/exp"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *exp.Runner
+)
+
+// quickRunner shares one memoizing runner across all benchmarks, so
+// experiments that reuse simulations (e.g. Figures 8 and 10) pay once.
+func quickRunner() *exp.Runner {
+	runnerOnce.Do(func() { runner = exp.NewRunner(exp.QuickScale()) })
+	return runner
+}
+
+func BenchmarkTable1Timings(b *testing.B) {
+	var t exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Table1()
+	}
+	b.ReportMetric(float64(len(t.Rows)), "rows")
+}
+
+func BenchmarkFig5ActivationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig5()
+	}
+}
+
+func BenchmarkFig6TradeOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig6()
+	}
+}
+
+func BenchmarkFig7Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig7()
+	}
+}
+
+func BenchmarkWeakRowProbabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.WeakProb()
+	}
+}
+
+func BenchmarkSection6Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Overhead()
+	}
+}
+
+func BenchmarkFig8SingleCore(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig8(r)
+	}
+	b.ReportMetric(100*res.AvgSpeedup[8], "speedup_crow8_%")
+	b.ReportMetric(100*res.AvgHitRate[8], "hitrate_crow8_%")
+	b.ReportMetric(100*res.AvgIdeal, "speedup_ideal_%")
+}
+
+func BenchmarkFig9MultiCore(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig9(r)
+	}
+	b.ReportMetric(100*res.Avg("CROW-8"), "ws_crow8_%")
+	b.ReportMetric(100*res.Stats["HHHH"]["CROW-8"].Avg, "ws_hhhh_%")
+}
+
+func BenchmarkFig10Energy(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig10(r)
+	}
+	b.ReportMetric(100*(1-res.SingleCore), "energy_saved_1core_%")
+	b.ReportMetric(100*(1-res.FourCore), "energy_saved_4core_%")
+}
+
+func BenchmarkFig11Baselines(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig11(r)
+	}
+	b.ReportMetric(100*res.Row("CROW-8").Speedup, "crow8_%")
+	b.ReportMetric(100*res.Row("TL-DRAM-8").Speedup, "tldram8_%")
+	b.ReportMetric(100*res.Row("SALP-128-O").Speedup, "salp128o_%")
+}
+
+func BenchmarkFig12Prefetcher(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig12(r)
+	}
+	b.ReportMetric(100*res.AvgGain, "crow_gain_over_pf_%")
+}
+
+func BenchmarkFig13CrowRef(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig13(r)
+	}
+	p := res.Point(64)
+	b.ReportMetric(100*p.SingleSpeedup, "speedup64_1core_%")
+	b.ReportMetric(100*(1-p.SingleEnergy), "energy_saved64_%")
+}
+
+func BenchmarkFig14Combined(b *testing.B) {
+	r := quickRunner()
+	var res exp.Fig14Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig14(r)
+	}
+	cell := res.Cells[8]["cache+ref"]
+	b.ReportMetric(100*cell.Speedup, "ws_cacheref_8mib_%")
+	b.ReportMetric(100*(1-cell.Energy), "energy_saved_%")
+}
+
+func BenchmarkAblationTableSharing(b *testing.B) {
+	r := quickRunner()
+	var res exp.SharingResult
+	for i := 0; i < b.N; i++ {
+		res = exp.TableSharing(r)
+	}
+	b.ReportMetric(100*res.Point(1).Speedup, "dedicated_%")
+	b.ReportMetric(100*res.Point(4).Speedup, "shared4_%")
+}
+
+func BenchmarkAblationRestorePolicy(b *testing.B) {
+	r := quickRunner()
+	var res exp.RestoreResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RestorePolicy(r)
+	}
+	b.ReportMetric(100*res.Lazy, "lazy_%")
+	b.ReportMetric(100*res.Eager, "eager_%")
+	b.ReportMetric(100*res.FullRestore, "full_%")
+}
+
+func BenchmarkRefComparison(b *testing.B) {
+	r := quickRunner()
+	var res exp.RefCompareResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RefComparison(r)
+	}
+	b.ReportMetric(100*res.Row("crow-ref").Speedup, "crowref_%")
+	b.ReportMetric(100*res.Row("raidr").Speedup, "raidr_%")
+}
+
+func BenchmarkHammerMitigation(b *testing.B) {
+	r := quickRunner()
+	var res exp.HammerResult
+	for i := 0; i < b.N; i++ {
+		res = exp.HammerAttack(r)
+	}
+	b.ReportMetric(float64(res.Remaps), "victim_remaps")
+}
+
+func BenchmarkSchedulerSensitivity(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		_ = exp.SchedulerSensitivity(r)
+	}
+}
+
+func BenchmarkLatencyComparison(b *testing.B) {
+	r := quickRunner()
+	var res exp.LatCompareResult
+	for i := 0; i < b.N; i++ {
+		res = exp.LatencyComparison(r)
+	}
+	b.ReportMetric(100*res.Row("crow-cache (CROW-8)").Speedup, "crow_%")
+	b.ReportMetric(100*res.Row("chargecache").Speedup, "chargecache_%")
+}
+
+func BenchmarkRefreshModes(b *testing.B) {
+	r := quickRunner()
+	var res exp.RefreshModeResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RefreshModes(r)
+	}
+	b.ReportMetric(100*res.Row("REFpb").Speedup, "refpb_%")
+	b.ReportMetric(100*res.Row("REFab + crow-ref").Speedup, "crowref_%")
+}

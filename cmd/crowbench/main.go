@@ -1,0 +1,126 @@
+// Command crowbench regenerates the paper's tables and figures (see the
+// per-experiment index in DESIGN.md).
+//
+// Examples:
+//
+//	crowbench -exp table1,fig5,fig7          # analytic experiments (instant)
+//	crowbench -exp fig8 -insts 1000000        # scale up a simulation figure
+//	crowbench -exp all                        # everything
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crowdram/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "comma-separated experiments: table1,fig5..fig14,weakprob,overhead,sharing,restore,refcompare,latcompare,refreshmodes,hammer,sched, or 'all' / 'analytic' / 'sim' / 'ablations'")
+		asJSON  = flag.Bool("json", false, "emit results as a JSON array of tables")
+		insts   = flag.Int64("insts", 300_000, "measured instructions per core")
+		mixes   = flag.Int("mixes", 3, "four-core mixes per workload group")
+		apps    = flag.String("apps", "", "comma-separated subset of single-core apps (default: full suite)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print progress per simulation run")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed}
+	if *apps != "" {
+		scale.SingleApps = strings.Split(*apps, ",")
+	}
+	r := exp.NewRunner(scale)
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	analytic := []string{"table1", "fig5", "fig6", "fig7", "weakprob", "overhead"}
+	simulated := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	ablations := []string{"sharing", "restore", "refcompare", "latcompare", "refreshmodes", "hammer", "sched"}
+	var selected []string
+	switch *which {
+	case "all":
+		selected = append(append(analytic, simulated...), ablations...)
+	case "analytic":
+		selected = analytic
+	case "sim":
+		selected = simulated
+	case "ablations":
+		selected = ablations
+	default:
+		selected = strings.Split(*which, ",")
+	}
+
+	var collected []exp.Table
+	for _, name := range selected {
+		start := time.Now()
+		var t exp.Table
+		switch name {
+		case "table1":
+			t = exp.Table1()
+		case "fig5":
+			t = exp.Fig5()
+		case "fig6":
+			t = exp.Fig6()
+		case "fig7":
+			t = exp.Fig7()
+		case "weakprob":
+			t = exp.WeakProb()
+		case "overhead":
+			t = exp.Overhead()
+		case "fig8":
+			t = exp.Fig8(r).Table()
+		case "fig9":
+			t = exp.Fig9(r).Table()
+		case "fig10":
+			t = exp.Fig10(r).Table()
+		case "fig11":
+			t = exp.Fig11(r).Table()
+		case "fig12":
+			t = exp.Fig12(r).Table()
+		case "fig13":
+			t = exp.Fig13(r).Table()
+		case "fig14":
+			t = exp.Fig14(r).Table()
+		case "sharing":
+			t = exp.TableSharing(r).Table()
+		case "restore":
+			t = exp.RestorePolicy(r).Table()
+		case "refcompare":
+			t = exp.RefComparison(r).Table()
+		case "latcompare":
+			t = exp.LatencyComparison(r).Table()
+		case "refreshmodes":
+			t = exp.RefreshModes(r).Table()
+		case "hammer":
+			t = exp.HammerAttack(r).Table()
+		case "sched":
+			t = exp.SchedulerSensitivity(r).Table()
+		default:
+			fmt.Fprintf(os.Stderr, "crowbench: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+		if *asJSON {
+			collected = append(collected, t)
+		} else {
+			fmt.Println(t)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "  [%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, "crowbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command crowsim runs a single CROW simulation and prints a report.
+//
+// Examples:
+//
+//	crowsim -mech crow-cache -workloads mcf
+//	crowsim -mech crow-cache+ref -workloads mcf,lbm,gcc,povray -density 64
+//	crowsim -mech tl-dram -workloads soplex -compare
+//	crowsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdram/crow"
+)
+
+func main() {
+	var (
+		mech     = flag.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
+		loads    = flag.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
+		traces   = flag.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
+		copyRows = flag.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
+		density  = flag.Int("density", 8, "DRAM chip density in Gbit: 8, 16, 32, 64")
+		llcMiB   = flag.Int("llc", 8, "LLC capacity in MiB")
+		insts    = flag.Int64("insts", 500_000, "measured instructions per core")
+		warmup   = flag.Int64("warmup", 0, "warmup instructions per core (default insts/10)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		prefetch = flag.Bool("prefetch", false, "enable the stride prefetcher")
+		tlNear   = flag.Int("tl-near", 8, "TL-DRAM near-segment rows")
+		salpSub  = flag.Int("salp", 128, "SALP subarrays per bank")
+		salpOpen = flag.Bool("salp-open", false, "SALP open-page policy")
+		hammerT  = flag.Int("hammer-threshold", 2048, "RowHammer detection threshold")
+		share    = flag.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
+		perBank  = flag.Bool("refpb", false, "use LPDDR4 per-bank refresh")
+		postpone = flag.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
+		compare  = flag.Bool("compare", false, "also run the baseline and report speedup/energy savings")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(crow.Workloads(), "\n"))
+		return
+	}
+
+	opts := crow.Options{
+		Mechanism:       crow.Mechanism(*mech),
+		Workloads:       strings.Split(*loads, ","),
+		TraceFiles:      splitNonEmpty(*traces),
+		CopyRows:        *copyRows,
+		DensityGbit:     *density,
+		LLCBytes:        int64(*llcMiB) << 20,
+		MeasureInsts:    *insts,
+		WarmupInsts:     *warmup,
+		Seed:            *seed,
+		Prefetch:        *prefetch,
+		TLDRAMNearRows:  *tlNear,
+		SALPSubarrays:   *salpSub,
+		SALPOpenPage:    *salpOpen,
+		HammerThreshold: *hammerT,
+		TableShareGroup: *share,
+		PerBankRefresh:  *perBank,
+		RefreshPostpone: *postpone,
+	}
+
+	if *compare {
+		c, err := crow.Compare(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emitJSON(c)
+			return
+		}
+		printReport(c.Mech)
+		fmt.Printf("\nvs baseline:\n")
+		fmt.Printf("  weighted speedup:   %+.1f%%\n", 100*c.Speedup)
+		fmt.Printf("  DRAM energy ratio:  %.3f (%+.1f%%)\n", c.EnergyRatio, 100*(c.EnergyRatio-1))
+		return
+	}
+
+	rep, err := crow.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		emitJSON(rep)
+		return
+	}
+	printReport(rep)
+}
+
+func printReport(r crow.Report) {
+	fmt.Printf("mechanism: %s\n", r.Mechanism)
+	for i := range r.IPC {
+		fmt.Printf("  core %d: IPC %.3f, LLC MPKI %.2f\n", i, r.IPC[i], r.MPKI[i])
+	}
+	fmt.Printf("DRAM commands: ACT %d, ACT-t %d, ACT-c %d, RD %d, WR %d, REF %d\n",
+		r.ACT, r.ACTt, r.ACTc, r.RD, r.WR, r.REF)
+	fmt.Printf("row-buffer hit rate: %.1f%%, read latency avg %.1f ns (p50 <= %.0f, p99 <= %.0f)\n",
+		100*r.RowHitRate, r.AvgReadLatencyNs, r.ReadLatencyP50Ns, r.ReadLatencyP99Ns)
+	if r.Hits+r.Misses > 0 {
+		fmt.Printf("CROW-table: hit rate %.1f%% (%d hits, %d misses), %d copies, %d evictions, %d restores\n",
+			100*r.CROWTableHitRate, r.Hits, r.Misses, r.Copies, r.Evictions, r.RestoreOps)
+	}
+	if r.RefRemaps > 0 {
+		fmt.Printf("CROW-ref: %d activations redirected to copy rows\n", r.RefRemaps)
+	}
+	if r.HammerRemaps > 0 {
+		fmt.Printf("RowHammer: %d victim rows remapped\n", r.HammerRemaps)
+	}
+	e := r.EnergyNJ
+	fmt.Printf("DRAM energy: %.0f nJ (act/pre %.0f, rd %.0f, wr %.0f, refresh %.0f, background %.0f)\n",
+		e.Total(), e.ActPre, e.Read, e.Write, e.Refresh, e.Background)
+	if r.ChipAreaOverhead > 0 {
+		fmt.Printf("chip area overhead: %.2f%%, capacity overhead: %.2f%%\n",
+			100*r.ChipAreaOverhead, 100*r.CapacityOverhead)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crowsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command tracegen writes a synthetic application trace to a file in the
+// Ramulator-style text format: one "<bubbles> <hex-address> [W]" record per
+// line.
+//
+// Example:
+//
+//	tracegen -app mcf -n 100000 -o mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdram/internal/trace"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "mcf", "application name (see -list)")
+		n    = flag.Int("n", 100_000, "number of records to emit")
+		out  = flag.String("o", "", "output file (default stdout)")
+		seed = flag.Int64("seed", 1, "random seed")
+		list = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(trace.Names(trace.Apps), "\n"))
+		return
+	}
+
+	a, err := trace.ByName(*app)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, a.Gen(*seed), *n); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,462 @@
+// Package crow is the public API of the CROW reproduction: a configurable
+// cycle-accurate simulation of the Copy-Row DRAM substrate (Hassan et al.,
+// ISCA 2019) together with the mechanisms built on it (CROW-cache, CROW-ref,
+// RowHammer mitigation) and the baselines the paper compares against
+// (conventional DRAM, TL-DRAM, SALP-MASA).
+//
+// The 30-second tour:
+//
+//	report, err := crow.Run(crow.Options{
+//		Mechanism: crow.CacheRef,
+//		Workloads: []string{"mcf", "lbm", "povray", "gcc"},
+//	})
+//
+// runs a four-core simulation of the combined CROW-cache + CROW-ref
+// configuration and reports IPC, DRAM energy, and CROW-table statistics.
+// Compare runs a mechanism against the conventional-DRAM baseline and
+// computes weighted speedup and energy savings the way the paper does.
+package crow
+
+import (
+	"fmt"
+	"os"
+
+	"crowdram/internal/chargecache"
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/metrics"
+	"crowdram/internal/retention"
+	"crowdram/internal/salp"
+	"crowdram/internal/sim"
+	"crowdram/internal/tldram"
+	"crowdram/internal/trace"
+)
+
+// Mechanism selects the memory-system configuration to simulate.
+type Mechanism string
+
+// Available mechanisms.
+const (
+	// Baseline is conventional LPDDR4 (Table 2).
+	Baseline Mechanism = "baseline"
+	// Cache is CROW-cache (Section 4.1).
+	Cache Mechanism = "crow-cache"
+	// Ref is CROW-ref (Section 4.2).
+	Ref Mechanism = "crow-ref"
+	// CacheRef combines CROW-cache and CROW-ref (Section 8.3).
+	CacheRef Mechanism = "crow-cache+ref"
+	// Hammer is the RowHammer mitigation (Section 4.3).
+	Hammer Mechanism = "crow-hammer"
+	// IdealCache is a hypothetical CROW-cache with a 100 % hit rate.
+	IdealCache Mechanism = "ideal-cache"
+	// IdealNoRefresh additionally disables refresh entirely (Figure 14's
+	// ideal).
+	IdealNoRefresh Mechanism = "ideal-norefresh"
+	// TLDRAM is the Tiered-Latency DRAM baseline [58].
+	TLDRAM Mechanism = "tl-dram"
+	// SALP is the SALP-MASA baseline [53].
+	SALP Mechanism = "salp"
+	// RAIDR is a retention-aware refresh baseline [64] (footnote 4): the
+	// bulk of rows refresh at a doubled window while weak rows are
+	// refreshed individually, with no copy rows.
+	RAIDR Mechanism = "raidr"
+	// ChargeCache is the related-work latency baseline [26]: rows
+	// precharged within the last ~1 ms re-activate at reduced latency,
+	// with the benefit expiring as cells leak.
+	ChargeCache Mechanism = "chargecache"
+)
+
+// Options configures one simulation. The zero value of every field selects
+// the paper's defaults (Table 2).
+type Options struct {
+	Mechanism Mechanism
+
+	// Workloads names the application run on each core (1–4 entries);
+	// see crow.Workloads() for the available names. Defaults to
+	// {"mcf"}.
+	Workloads []string
+	// TraceFiles, when set, loads recorded traces (the tracegen format:
+	// "<bubbles> <hex-addr> [W]" per line) instead of the synthetic
+	// generators — one file per core. Overrides Workloads.
+	TraceFiles []string
+
+	// CopyRows per subarray (CROW-n). Default 8.
+	CopyRows int
+	// DensityGbit is the DRAM chip density: 8, 16, 32 or 64. Default 8.
+	DensityGbit int
+	// RefreshWindowMS is the baseline refresh window. Default 64 ms
+	// (CROW-ref doubles it to 128 ms).
+	RefreshWindowMS float64
+	// WeakRowsPerSubarray is CROW-ref's assumed weak-row count
+	// (Section 8.2 uses 3).
+	WeakRowsPerSubarray int
+
+	// LLCBytes is the shared LLC capacity. Default 8 MiB.
+	LLCBytes int64
+	// Prefetch enables the RPT-style stride prefetcher (Section 8.1.5).
+	Prefetch bool
+
+	// TLDRAMNearRows sets the TL-DRAM near-segment size. Default 8.
+	TLDRAMNearRows int
+	// SALPSubarrays sets SALP's subarrays per bank. Default 128.
+	SALPSubarrays int
+	// SALPOpenPage selects SALP's open-page row policy ("-O").
+	SALPOpenPage bool
+	// HammerThreshold is the activations-per-window detection threshold
+	// for the RowHammer mitigation. Default 2048.
+	HammerThreshold int
+	// TableShareGroup shares one CROW-table entry set across this many
+	// adjacent subarrays (Section 6.1's storage optimization; 1 =
+	// dedicated sets).
+	TableShareGroup int
+	// FullRestore disables CROW-cache's early-terminated restoration as
+	// an ablation (Section 4.1.3).
+	FullRestore bool
+	// Scrub enables idle-cycle restoration scrubbing (ablation; the
+	// default lazy eviction policy makes it unnecessary).
+	Scrub bool
+	// EagerRestore uses the paper's literal Section 4.1.4 flow: a miss
+	// that would evict a partially-restored pair first fully restores it
+	// inline. The default skips the allocation instead (ablation).
+	EagerRestore bool
+	// ControllerCap is the FR-FCFS-Cap row-hit limit [81]. Default 16.
+	ControllerCap int
+	// RowTimeoutNs is the timeout row-buffer policy's idle threshold.
+	// Default 75 ns (Table 2).
+	RowTimeoutNs float64
+	// PerBankRefresh uses LPDDR4's REFpb mode: one bank refreshes while
+	// the others stay accessible.
+	PerBankRefresh bool
+	// RefreshPostpone allows deferring up to this many due refreshes
+	// while demand is queued (JEDEC permits 8; elastic refresh [107]).
+	RefreshPostpone int
+
+	// MeasureInsts is the per-core instruction budget (default 500k;
+	// the paper uses 200M — scale up for tighter numbers).
+	MeasureInsts int64
+	// WarmupInsts precede measurement (default MeasureInsts/10).
+	WarmupInsts int64
+	// Seed drives every stochastic component. Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mechanism == "" {
+		o.Mechanism = Baseline
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"mcf"}
+	}
+	if o.CopyRows == 0 {
+		o.CopyRows = 8
+	}
+	if o.DensityGbit == 0 {
+		o.DensityGbit = 8
+	}
+	if o.RefreshWindowMS == 0 {
+		o.RefreshWindowMS = 64
+	}
+	if o.WeakRowsPerSubarray == 0 {
+		o.WeakRowsPerSubarray = 3
+	}
+	if o.LLCBytes == 0 {
+		o.LLCBytes = 8 << 20
+	}
+	if o.TLDRAMNearRows == 0 {
+		o.TLDRAMNearRows = 8
+	}
+	if o.SALPSubarrays == 0 {
+		o.SALPSubarrays = 128
+	}
+	if o.HammerThreshold == 0 {
+		o.HammerThreshold = 2048
+	}
+	if o.TableShareGroup == 0 {
+		o.TableShareGroup = 1
+	}
+	if o.ControllerCap == 0 {
+		o.ControllerCap = 16
+	}
+	if o.RowTimeoutNs == 0 {
+		o.RowTimeoutNs = 75
+	}
+	if o.MeasureInsts == 0 {
+		o.MeasureInsts = 500_000
+	}
+	if o.WarmupInsts == 0 {
+		o.WarmupInsts = o.MeasureInsts / 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	Mechanism Mechanism
+	// IPC and MPKI are per-core.
+	IPC  []float64
+	MPKI []float64
+
+	// EnergyNJ is the DRAM energy breakdown over the measured interval.
+	EnergyNJ EnergyBreakdown
+
+	// CROWTableHitRate is the CROW-table (or TL-DRAM near-segment) hit
+	// rate; zero for mechanisms without a table.
+	CROWTableHitRate float64
+	// Substrate statistics.
+	Hits, Misses, Copies, Evictions, RestoreOps int64
+	RefRemaps, HammerRemaps                     int64
+
+	// RowRefreshOps counts RAIDR's row-granular weak-row refreshes.
+	RowRefreshOps int64
+
+	// Command counts.
+	ACT, ACTt, ACTc, RD, WR, REF int64
+	RowHitRate                   float64
+	Refreshes                    int64
+	AvgReadLatencyNs             float64
+	// ReadLatencyP50Ns / ReadLatencyP99Ns bound the demand read latency
+	// distribution (log-bucket upper bounds).
+	ReadLatencyP50Ns float64
+	ReadLatencyP99Ns float64
+
+	// ChipAreaOverhead is the DRAM die overhead of the configuration.
+	ChipAreaOverhead float64
+	// CapacityOverhead is the DRAM storage the substrate reserves.
+	CapacityOverhead float64
+}
+
+// EnergyBreakdown is the DRAM energy split in nanojoules.
+type EnergyBreakdown struct {
+	ActPre, Read, Write, Refresh, Background float64
+}
+
+// Total returns the total DRAM energy in nanojoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ActPre + e.Read + e.Write + e.Refresh + e.Background
+}
+
+// Workloads returns the names of the available synthetic applications.
+func Workloads() []string { return trace.Names(trace.Apps) }
+
+// Run executes one simulation.
+func Run(o Options) (Report, error) {
+	o = o.withDefaults()
+	cfg, mech, err := build(o)
+	if err != nil {
+		return Report{}, err
+	}
+	gens, err := generators(o)
+	if err != nil {
+		return Report{}, err
+	}
+	res := sim.New(cfg, mech, gens).Run()
+	return report(o, cfg, mech, res), nil
+}
+
+// Comparison is the outcome of Compare: a mechanism versus the baseline on
+// identical workloads.
+type Comparison struct {
+	Base, Mech Report
+	// Speedup is the weighted-speedup improvement (0.074 = +7.4 %),
+	// computed with per-app alone-run IPCs on the baseline system as the
+	// denominator [104].
+	Speedup float64
+	// EnergyRatio is mechanism energy / baseline energy (0.917 = −8.3 %).
+	EnergyRatio float64
+}
+
+// Compare runs the baseline and the given configuration on the same
+// workloads and reports weighted speedup and relative DRAM energy.
+func Compare(o Options) (Comparison, error) {
+	o = o.withDefaults()
+	baseOpts := o
+	baseOpts.Mechanism = Baseline
+	base, err := Run(baseOpts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	mech, err := Run(o)
+	if err != nil {
+		return Comparison{}, err
+	}
+	alone := make([]float64, len(o.Workloads))
+	if len(o.Workloads) == 1 {
+		alone[0] = base.IPC[0]
+	} else {
+		for i, w := range o.Workloads {
+			aOpts := baseOpts
+			aOpts.Workloads = []string{w}
+			aOpts.Seed = o.Seed + int64(i)
+			ar, err := Run(aOpts)
+			if err != nil {
+				return Comparison{}, err
+			}
+			alone[i] = ar.IPC[0]
+		}
+	}
+	wsBase := metrics.WeightedSpeedup(base.IPC, alone)
+	wsMech := metrics.WeightedSpeedup(mech.IPC, alone)
+	return Comparison{
+		Base:        base,
+		Mech:        mech,
+		Speedup:     metrics.Speedup(wsMech, wsBase),
+		EnergyRatio: mech.EnergyNJ.Total() / base.EnergyNJ.Total(),
+	}, nil
+}
+
+func build(o Options) (sim.Config, core.Mechanism, error) {
+	density := dram.Density(o.DensityGbit)
+	if _, ok := map[dram.Density]bool{dram.Density8Gb: true, dram.Density16Gb: true,
+		dram.Density32Gb: true, dram.Density64Gb: true}[density]; !ok {
+		return sim.Config{}, nil, fmt.Errorf("crow: unsupported density %d Gbit", o.DensityGbit)
+	}
+	copyRows := o.CopyRows
+	switch o.Mechanism {
+	case Baseline, TLDRAM, SALP, IdealCache, IdealNoRefresh, RAIDR, ChargeCache:
+		copyRows = 0
+	}
+	cfg := sim.Default(copyRows, density, o.RefreshWindowMS)
+	cfg.LLC.SizeBytes = o.LLCBytes
+	cfg.Cap = o.ControllerCap
+	cfg.Timeout = o.RowTimeoutNs
+	cfg.PerBankRefresh = o.PerBankRefresh
+	cfg.MaxPostpone = o.RefreshPostpone
+	cfg.Prefetch = o.Prefetch
+	cfg.WarmupInsts = o.WarmupInsts
+	cfg.MeasureInsts = o.MeasureInsts
+	cfg.Seed = o.Seed
+
+	var mech core.Mechanism
+	switch o.Mechanism {
+	case Baseline:
+		mech = &core.Baseline{T: cfg.T}
+	case IdealCache:
+		mech = &core.Ideal{T: cfg.T}
+	case IdealNoRefresh:
+		mech = &core.Ideal{T: cfg.T, NoRefresh: true}
+	case ChargeCache:
+		mech = chargecache.New(cfg.Channels, cfg.T, 128)
+	case RAIDR:
+		mech = core.NewRAIDR(cfg.Channels, cfg.Geo, cfg.T,
+			retention.FixedProfile(retention.Geometry{
+				Channels: cfg.Channels, Ranks: cfg.Geo.Ranks, Banks: cfg.Geo.Banks,
+				Subarrays: cfg.Geo.SubarraysPerBank(), RowsPerSubarray: cfg.Geo.RowsPerSubarray,
+			}, o.WeakRowsPerSubarray, o.Seed))
+	case Cache, Ref, CacheRef, Hammer:
+		m := core.NewCROWShared(cfg.Channels, cfg.Geo, cfg.T, o.TableShareGroup)
+		m.FullRestore = o.FullRestore
+		m.Scrub = o.Scrub
+		m.EagerRestore = o.EagerRestore
+		if o.Mechanism == Cache || o.Mechanism == CacheRef {
+			m.Cache = true
+		}
+		if o.Mechanism == Ref || o.Mechanism == CacheRef {
+			m.Ref = true
+			m.LoadProfile(retention.FixedProfile(retention.Geometry{
+				Channels: cfg.Channels, Ranks: cfg.Geo.Ranks, Banks: cfg.Geo.Banks,
+				Subarrays: cfg.Geo.SubarraysPerBank(), RowsPerSubarray: cfg.Geo.RowsPerSubarray,
+			}, o.WeakRowsPerSubarray, o.Seed))
+		}
+		if o.Mechanism == Hammer {
+			m.HammerThreshold = o.HammerThreshold
+		}
+		mech = m
+	case TLDRAM:
+		mech = tldram.New(cfg.Channels, cfg.Geo, cfg.T, o.TLDRAMNearRows)
+	case SALP:
+		sc := salp.Config{SubarraysPerBank: o.SALPSubarrays, OpenPage: o.SALPOpenPage}
+		cfg.Geo = sc.Geometry()
+		cfg.T = dram.LPDDR4(density, o.RefreshWindowMS, cfg.Geo)
+		cfg.MASA = true
+		cfg.OpenPage = o.SALPOpenPage
+		mech = &core.Baseline{T: cfg.T}
+	default:
+		return sim.Config{}, nil, fmt.Errorf("crow: unknown mechanism %q", o.Mechanism)
+	}
+	return cfg, mech, nil
+}
+
+func generators(o Options) ([]trace.Generator, error) {
+	if len(o.TraceFiles) > 0 {
+		if len(o.TraceFiles) > 4 {
+			return nil, fmt.Errorf("crow: want 1-4 trace files, got %d", len(o.TraceFiles))
+		}
+		gens := make([]trace.Generator, len(o.TraceFiles))
+		for i, path := range o.TraceFiles {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("crow: %v", err)
+			}
+			recs, err := trace.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			gens[i] = &trace.Replay{Records: recs}
+		}
+		return gens, nil
+	}
+	if len(o.Workloads) < 1 || len(o.Workloads) > 4 {
+		return nil, fmt.Errorf("crow: want 1-4 workloads, got %d", len(o.Workloads))
+	}
+	gens := make([]trace.Generator, len(o.Workloads))
+	for i, name := range o.Workloads {
+		app, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = app.Gen(o.Seed + int64(i)*7919)
+	}
+	return gens, nil
+}
+
+func report(o Options, cfg sim.Config, mech core.Mechanism, res sim.Result) Report {
+	r := Report{
+		Mechanism: o.Mechanism,
+		IPC:       res.IPC,
+		MPKI:      res.MPKI,
+		EnergyNJ: EnergyBreakdown{
+			ActPre: res.Energy.ActPre, Read: res.Energy.Read, Write: res.Energy.Write,
+			Refresh: res.Energy.Refresh, Background: res.Energy.Background,
+		},
+		ACT: res.DRAM.ACT, ACTt: res.DRAM.ACTTwo, ACTc: res.DRAM.ACTCopy,
+		RD: res.DRAM.RD, WR: res.DRAM.WR, REF: res.DRAM.REF,
+		Refreshes:        res.Ctrl.Refreshes,
+		AvgReadLatencyNs: res.AvgReadNs,
+		ReadLatencyP50Ns: res.ReadP50Ns,
+		ReadLatencyP99Ns: res.ReadP99Ns,
+	}
+	if hm := res.Ctrl.RowHits + res.Ctrl.RowMisses; hm > 0 {
+		r.RowHitRate = float64(res.Ctrl.RowHits) / float64(hm)
+	}
+	switch m := mech.(type) {
+	case *core.CROW:
+		r.CROWTableHitRate = res.CROW.HitRate()
+		r.Hits, r.Misses = res.CROW.Hits, res.CROW.Misses
+		r.Copies, r.Evictions = res.CROW.Copies, res.CROW.Evictions
+		r.RestoreOps = res.CROW.RestoreOps
+		r.RefRemaps, r.HammerRemaps = res.CROW.RefRemaps, res.CROW.HamRemaps
+		r.ChipAreaOverhead = overheadFor(o.CopyRows)
+		r.CapacityOverhead = float64(o.CopyRows) / float64(cfg.Geo.RowsPerSubarray)
+	case *tldram.Mechanism:
+		r.CROWTableHitRate = m.Stats.HitRate()
+		r.Hits, r.Misses, r.Copies = m.Stats.Hits, m.Stats.Misses, m.Stats.Copies
+		r.ChipAreaOverhead = m.ChipAreaOverhead()
+		r.CapacityOverhead = float64(o.TLDRAMNearRows) / float64(cfg.Geo.RowsPerSubarray)
+	case *core.RAIDR:
+		r.RowRefreshOps = m.RowRefreshes
+	case *chargecache.Mechanism:
+		r.CROWTableHitRate = m.HitRate()
+		r.Hits, r.Misses = m.Hits, m.Misses
+	case *core.Ideal:
+		r.CROWTableHitRate = 1
+	case *core.Baseline:
+		if o.Mechanism == SALP {
+			r.ChipAreaOverhead = salp.Config{SubarraysPerBank: o.SALPSubarrays}.ChipAreaOverhead()
+		}
+	}
+	return r
+}

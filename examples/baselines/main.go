@@ -1,0 +1,57 @@
+// baselines: compare the in-DRAM latency mechanisms head to head — CROW-cache
+// against TL-DRAM [58], SALP-MASA [53], and ChargeCache [26] — on one
+// workload, reporting the three axes of Figure 11: speedup, DRAM energy, and
+// DRAM chip area overhead. CROW's pitch is not the largest speedup but the
+// best speedup per unit of area and energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"crowdram/crow"
+)
+
+func main() {
+	app := flag.String("app", "soplex", "workload to run")
+	flag.Parse()
+
+	base, err := crow.Run(crow.Options{Workloads: []string{*app}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("In-DRAM caching baselines on %q (baseline IPC %.3f)\n\n", *app, base.IPC[0])
+	fmt.Printf("%-14s %9s %13s %11s %16s\n", "mechanism", "speedup", "energy ratio", "area ovh", "capacity ovh")
+
+	configs := []struct {
+		name string
+		o    crow.Options
+	}{
+		{"CROW-1", crow.Options{Mechanism: crow.Cache, CopyRows: 1}},
+		{"CROW-8", crow.Options{Mechanism: crow.Cache, CopyRows: 8}},
+		{"TL-DRAM-8", crow.Options{Mechanism: crow.TLDRAM}},
+		{"SALP-128", crow.Options{Mechanism: crow.SALP}},
+		{"SALP-128-O", crow.Options{Mechanism: crow.SALP, SALPOpenPage: true}},
+		{"ChargeCache", crow.Options{Mechanism: crow.ChargeCache}},
+		{"ideal", crow.Options{Mechanism: crow.IdealCache}},
+	}
+	for _, cfg := range configs {
+		o := cfg.o
+		o.Workloads = []string{*app}
+		rep, err := crow.Run(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %+8.1f%% %13.3f %10.2f%% %15.2f%%\n",
+			cfg.name,
+			100*(rep.IPC[0]/base.IPC[0]-1),
+			rep.EnergyNJ.Total()/base.EnergyNJ.Total(),
+			100*rep.ChipAreaOverhead,
+			100*rep.CapacityOverhead)
+	}
+
+	fmt.Println("\npaper anchors (Fig. 11, single-core averages):")
+	fmt.Println("  CROW-8 +7.1% at 0.48% area; TL-DRAM-8 +13.8% but 6.9% area;")
+	fmt.Println("  SALP-256-O fastest but +58.4% DRAM energy and 28.9% area")
+}

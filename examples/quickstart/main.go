@@ -1,0 +1,44 @@
+// Quickstart: simulate a four-core system on conventional DRAM and on the
+// combined CROW-cache + CROW-ref configuration, and print the headline
+// comparison the paper's abstract reports (speedup and DRAM energy savings).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdram/crow"
+)
+
+func main() {
+	opts := crow.Options{
+		Mechanism: crow.CacheRef,
+		// A memory-intensive four-core mix (the paper's headline uses
+		// such workloads with a futuristic 64 Gbit chip).
+		Workloads:   []string{"mcf", "lbm", "soplex", "milc"},
+		DensityGbit: 64,
+	}
+
+	fmt.Println("CROW quickstart: 4 cores, 4 LPDDR4 channels, 8 MiB LLC, 64 Gbit chips")
+	fmt.Printf("workloads: %v\n\n", opts.Workloads)
+
+	cmp, err := crow.Compare(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "crow-cache+ref")
+	for i := range cmp.Base.IPC {
+		fmt.Printf("core %d (%s) IPC %15.3f %12.3f\n", i, opts.Workloads[i], cmp.Base.IPC[i], cmp.Mech.IPC[i])
+	}
+	fmt.Printf("%-22s %12.0f %12.0f\n", "DRAM energy (nJ)", cmp.Base.EnergyNJ.Total(), cmp.Mech.EnergyNJ.Total())
+	fmt.Printf("%-22s %12d %12d\n", "refresh commands", cmp.Base.Refreshes, cmp.Mech.Refreshes)
+
+	fmt.Printf("\nweighted speedup: %+.1f%%   (paper, 4-core memory-intensive avg: +20.0%%)\n", 100*cmp.Speedup)
+	fmt.Printf("DRAM energy:      %+.1f%%   (paper: -22.3%%)\n", 100*(cmp.EnergyRatio-1))
+	fmt.Printf("CROW-table hit rate: %.1f%%\n", 100*cmp.Mech.CROWTableHitRate)
+
+	o := crow.OverheadsFor(8)
+	fmt.Printf("\nhardware cost (CROW-8): %.2f%% chip area, %.1f KB CROW-table per channel, %.2f%% capacity\n",
+		100*o.ChipArea, o.CROWTableKB, 100*o.Capacity)
+}

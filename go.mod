@@ -1,0 +1,3 @@
+module crowdram
+
+go 1.22

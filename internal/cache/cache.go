@@ -1,0 +1,336 @@
+// Package cache implements the shared last-level cache of Table 2: 8 MiB,
+// 8-way set-associative, 64 B lines, LRU replacement, write-back with
+// write-allocate, and MSHR-based miss handling with request merging.
+package cache
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Config parameterizes the LLC.
+type Config struct {
+	SizeBytes  int64
+	Assoc      int
+	LineBytes  int
+	HitLatency int64 // CPU cycles from access to data for a hit
+	MSHRs      int   // maximum outstanding misses (global)
+}
+
+// DefaultConfig returns the Table 2 LLC: 8 MiB, 8-way, 64 B lines.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:  8 << 20,
+		Assoc:      8,
+		LineBytes:  64,
+		HitLatency: 30,
+		MSHRs:      64,
+	}
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+type waiter struct {
+	write bool
+	done  func(now int64)
+}
+
+type mshr struct {
+	lineAddr uint64
+	sent     bool
+	prefetch bool
+	waiters  []waiter
+}
+
+// Memory is the LLC's downstream port (the memory controllers). Send
+// functions return false to reject (queue full); the cache retries.
+type Memory interface {
+	// SendRead requests a line fill; done runs when data returns.
+	SendRead(lineAddr uint64, prefetch bool, done func(now int64)) bool
+	// SendWrite writes back a dirty line.
+	SendWrite(lineAddr uint64) bool
+}
+
+// Stats counts LLC events.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64 // demand misses (includes merges into pending MSHRs)
+	Writebacks int64
+	PrefIssued int64
+	PrefUseful int64 // demand hits on prefetched lines
+
+	// Per-core demand accesses and misses, for MPKI accounting.
+	CoreAccesses []int64
+	CoreMisses   []int64
+}
+
+type delayed struct {
+	at   int64
+	done func(now int64)
+}
+
+type delayQueue []delayed
+
+func (q delayQueue) Len() int           { return len(q) }
+func (q delayQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q delayQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)        { *q = append(*q, x.(delayed)) }
+func (q *delayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	d := old[n-1]
+	*q = old[:n-1]
+	return d
+}
+
+// Cache is the shared LLC.
+type Cache struct {
+	Cfg  Config
+	Mem  Memory
+	sets [][]line
+	// prefetched marks resident lines that were filled by a prefetch and
+	// not yet touched by demand.
+	prefetched map[uint64]bool
+
+	mshrs   map[uint64]*mshr
+	fillQ   []uint64 // line fills awaiting install (processed on Tick)
+	wbQ     []uint64 // writebacks the memory rejected, to retry
+	delayed delayQueue
+
+	setMask  uint64
+	lineBits uint
+
+	Stats Stats
+}
+
+// New builds an empty cache connected to mem, sized for `cores` per-core
+// stat slots.
+func New(cfg Config, mem Memory, cores int) *Cache {
+	numSets := cfg.SizeBytes / int64(cfg.LineBytes) / int64(cfg.Assoc)
+	c := &Cache{
+		Cfg:        cfg,
+		Mem:        mem,
+		sets:       make([][]line, numSets),
+		mshrs:      make(map[uint64]*mshr),
+		prefetched: make(map[uint64]bool),
+		setMask:    uint64(numSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	c.Stats.CoreAccesses = make([]int64, cores)
+	c.Stats.CoreMisses = make([]int64, cores)
+	return c
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+func (c *Cache) set(lineAddr uint64) []line  { return c.sets[lineAddr&c.setMask] }
+
+func (c *Cache) find(lineAddr uint64) *line {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a demand access. It returns accepted=false when the miss
+// cannot be tracked (MSHRs full) — the core must retry. On acceptance, hit
+// reports whether the line was resident or had to be fetched; done runs when
+// the data is available (for writes, when the line is writable).
+func (c *Cache) Access(now int64, core int, addr uint64, write bool, done func(now int64)) (accepted, hit bool) {
+	la := c.lineAddr(addr)
+	if ln := c.find(la); ln != nil {
+		c.Stats.Accesses++
+		c.Stats.Hits++
+		c.Stats.CoreAccesses[core]++
+		ln.lastUse = now
+		if write {
+			ln.dirty = true
+		}
+		if c.prefetched[la] {
+			delete(c.prefetched, la)
+			c.Stats.PrefUseful++
+		}
+		if done != nil {
+			heap.Push(&c.delayed, delayed{at: now + c.Cfg.HitLatency, done: done})
+		}
+		return true, true
+	}
+	// Merge into a pending miss.
+	if m, ok := c.mshrs[la]; ok {
+		c.Stats.Accesses++
+		c.Stats.Misses++
+		c.Stats.CoreAccesses[core]++
+		c.Stats.CoreMisses[core]++
+		m.waiters = append(m.waiters, waiter{write: write, done: done})
+		if m.prefetch {
+			m.prefetch = false // late promotion to demand
+			c.Stats.PrefUseful++
+		}
+		return true, false
+	}
+	if len(c.mshrs) >= c.Cfg.MSHRs {
+		return false, false
+	}
+	c.Stats.Accesses++
+	c.Stats.Misses++
+	c.Stats.CoreAccesses[core]++
+	c.Stats.CoreMisses[core]++
+	m := &mshr{lineAddr: la, waiters: []waiter{{write: write, done: done}}}
+	c.mshrs[la] = m
+	c.trySend(m)
+	return true, false
+}
+
+// Prefetch requests a line fill without a waiter; it is dropped if the line
+// is resident, already pending, or MSHRs are exhausted.
+func (c *Cache) Prefetch(now int64, addr uint64) bool {
+	la := c.lineAddr(addr)
+	if c.find(la) != nil {
+		return false
+	}
+	if _, ok := c.mshrs[la]; ok {
+		return false
+	}
+	if len(c.mshrs) >= c.Cfg.MSHRs {
+		return false
+	}
+	m := &mshr{lineAddr: la, prefetch: true}
+	c.mshrs[la] = m
+	c.trySend(m)
+	c.Stats.PrefIssued++
+	return true
+}
+
+func (c *Cache) trySend(m *mshr) {
+	if m.sent {
+		return
+	}
+	la := m.lineAddr
+	if c.Mem.SendRead(la<<c.lineBits, m.prefetch, func(now int64) { c.fill(now, la) }) {
+		m.sent = true
+	}
+}
+
+// fill installs a returned line and wakes its waiters.
+func (c *Cache) fill(now int64, la uint64) {
+	m := c.mshrs[la]
+	delete(c.mshrs, la)
+	set := c.set(la)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks++
+		wb := set[victim].tag << c.lineBits
+		if !c.Mem.SendWrite(wb) {
+			c.wbQ = append(c.wbQ, wb)
+		}
+	}
+	if set[victim].valid {
+		delete(c.prefetched, set[victim].tag)
+	}
+	dirty := false
+	if m != nil {
+		for _, w := range m.waiters {
+			if w.write {
+				dirty = true
+			}
+			if w.done != nil {
+				w.done(now)
+			}
+		}
+		if m.prefetch {
+			c.prefetched[la] = true
+		}
+	}
+	set[victim] = line{tag: la, valid: true, dirty: dirty, lastUse: now}
+}
+
+// Prefill populates every way with random resident lines, a fraction of
+// them dirty. Short simulations start from a cold cache that would otherwise
+// never fill (and so never write back); prefilling emulates the steady-state
+// system the paper's methodology assumes, producing realistic writeback
+// traffic from the first eviction. lineAddrBits bounds the generated line
+// addresses to the physical address space.
+func (c *Cache) Prefill(lineAddrBits uint, dirtyFrac float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<lineAddrBits - 1
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			la := rng.Uint64() & mask
+			// Force the tag into this set.
+			la = la&^c.setMask | uint64(si)
+			c.sets[si][w] = line{
+				tag:     la,
+				valid:   true,
+				dirty:   rng.Float64() < dirtyFrac,
+				lastUse: int64(-1000 + rng.Intn(1000)),
+			}
+		}
+	}
+}
+
+// Tick fires due hit callbacks and retries rejected downstream sends.
+func (c *Cache) Tick(now int64) {
+	for len(c.delayed) > 0 && c.delayed[0].at <= now {
+		d := heap.Pop(&c.delayed).(delayed)
+		d.done(now)
+	}
+	for len(c.wbQ) > 0 {
+		if !c.Mem.SendWrite(c.wbQ[0]) {
+			break
+		}
+		c.wbQ = c.wbQ[1:]
+	}
+	for _, m := range c.mshrs {
+		if !m.sent {
+			c.trySend(m)
+		}
+	}
+}
+
+// Pending reports outstanding misses plus undelivered hit callbacks (used to
+// drain simulations).
+func (c *Cache) Pending() int { return len(c.mshrs) + len(c.delayed) + len(c.wbQ) }
+
+// MPKI returns per-core LLC misses per kilo-instruction given retired
+// instruction counts.
+func (c *Cache) MPKI(coreInsts []int64) []float64 {
+	out := make([]float64, len(coreInsts))
+	for i := range out {
+		if coreInsts[i] > 0 {
+			out[i] = float64(c.Stats.CoreMisses[i]) * 1000 / float64(coreInsts[i])
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes the statistics (after warmup), preserving per-core slot
+// counts.
+func (c *Cache) ResetStats() {
+	cores := len(c.Stats.CoreAccesses)
+	c.Stats = Stats{
+		CoreAccesses: make([]int64, cores),
+		CoreMisses:   make([]int64, cores),
+	}
+}

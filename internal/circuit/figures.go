@@ -1,0 +1,158 @@
+package circuit
+
+import "math"
+
+// Table1 holds the relative timing changes of the new DRAM commands
+// (Table 1 of the paper), expressed as fractional deltas (−0.38 = −38 %).
+type Table1 struct {
+	// ACT-t, activating fully-restored rows.
+	TwoFullRCD, TwoFullRASFull, TwoFullRASEarly, TwoFullWRFull, TwoFullWREarly float64
+	// ACT-t, activating partially-restored rows.
+	TwoPartialRCD, TwoPartialRASFull, TwoPartialRASEarly float64
+	// ACT-c.
+	CopyRCD, CopyRASFull, CopyRASEarly, CopyWRFull, CopyWREarly float64
+}
+
+// Table1 derives the paper's Table 1 from the analytical model.
+func (m *Model) Table1() Table1 {
+	return Table1{
+		TwoFullRCD:      m.TRCD(2, m.Vfull, false)/BaseRCD - 1,
+		TwoFullRASFull:  m.TRAS(2, m.Vfull, m.Vfull, false)/BaseRAS - 1,
+		TwoFullRASEarly: m.TRAS(2, m.Vfull, m.VrOp, false)/BaseRAS - 1,
+		TwoFullWRFull:   m.TWR(2, m.Vfull)/BaseWR - 1,
+		TwoFullWREarly:  m.TWR(2, m.VrOp)/BaseWR - 1,
+
+		TwoPartialRCD:      m.TRCD(2, m.VrOp, true)/BaseRCD - 1,
+		TwoPartialRASFull:  m.TRAS(2, m.VrOp, m.Vfull, true)/BaseRAS - 1,
+		TwoPartialRASEarly: m.TRAS(2, m.VrOp, m.VrOp, true)/BaseRAS - 1,
+
+		CopyRCD:      0, // the copy row is enabled only after tRCD is met
+		CopyRASFull:  m.TRASCopy(m.Vfull)/BaseRAS - 1,
+		CopyRASEarly: m.TRASCopy(m.VrOp)/BaseRAS - 1,
+		CopyWRFull:   m.TWR(2, m.Vfull)/BaseWR - 1,
+		CopyWREarly:  m.TWR(2, m.VrOp)/BaseWR - 1,
+	}
+}
+
+// Fig5Point is one x-position of Figure 5: the latency changes when
+// simultaneously activating n rows, normalized to single-row activation.
+type Fig5Point struct {
+	Rows         int
+	RCDDelta     float64 // Figure 5a
+	RASDelta     float64 // Figure 5b, full restoration
+	RestoreDelta float64
+	WRDelta      float64
+}
+
+// Fig5 sweeps the number of simultaneously-activated rows (Figure 5).
+func (m *Model) Fig5(maxRows int) []Fig5Point {
+	restore1 := m.RestoreTime(1, m.Vfull)
+	pts := make([]Fig5Point, 0, maxRows)
+	for n := 1; n <= maxRows; n++ {
+		pts = append(pts, Fig5Point{
+			Rows:         n,
+			RCDDelta:     m.TRCD(n, m.Vfull, false)/BaseRCD - 1,
+			RASDelta:     m.TRAS(n, m.Vfull, m.Vfull, false)/BaseRAS - 1,
+			RestoreDelta: m.RestoreTime(n, m.Vfull)/restore1 - 1,
+			WRDelta:      m.TWR(n, m.Vfull)/BaseWR - 1,
+		})
+	}
+	return pts
+}
+
+// Fig6Curve is the normalized tRCD-versus-tRAS trade-off for n rows
+// (Figure 6).
+type Fig6Curve struct {
+	Rows   int
+	Points []TradeOffPoint
+}
+
+// Fig6 sweeps the restore target for 2..maxRows simultaneously-activated
+// rows (Figure 6).
+func (m *Model) Fig6(maxRows, steps int) []Fig6Curve {
+	curves := make([]Fig6Curve, 0, maxRows-1)
+	for n := 2; n <= maxRows; n++ {
+		curves = append(curves, Fig6Curve{Rows: n, Points: m.TradeOff(n, steps)})
+	}
+	return curves
+}
+
+// MRAPowerFactor returns the activation power of an n-row activation
+// relative to a single-row ACT (Figure 7, left). The paper reports +5.8 %
+// for two rows; the additional wordline drivers and the copy-row decoder
+// scale the overhead roughly linearly in the number of extra rows.
+func MRAPowerFactor(n int) float64 { return 1 + 0.058*float64(n-1) }
+
+// Decoder and chip area model (Figure 7 right, Section 6.2). The paper's
+// CACTI evaluation reports 200.9 µm² for the 512-row local row decoder and
+// 9.6 µm² for an 8-copy-row CROW decoder (4.8 % of the decoder, 0.48 % of
+// the chip, so row decoders occupy ~10 % of chip area).
+const (
+	RegularDecoderArea = 200.9 // µm², 512-row local row decoder
+	copyDecoderFixed   = 1.6   // µm², shared predecode/drivers
+	copyDecoderPerRow  = 1.0   // µm² per copy row
+	DecoderChipShare   = 0.10  // fraction of DRAM chip area in row decoders
+)
+
+// CopyDecoderArea returns the area of a CROW decoder for n copy rows (µm²).
+func CopyDecoderArea(n int) float64 { return copyDecoderFixed + copyDecoderPerRow*float64(n) }
+
+// DecoderOverhead returns the row-decoder area overhead of CROW-n.
+func DecoderOverhead(n int) float64 { return CopyDecoderArea(n) / RegularDecoderArea }
+
+// ChipOverhead returns the whole-DRAM-chip area overhead of CROW-n
+// (0.48 % for CROW-8).
+func ChipOverhead(n int) float64 { return DecoderOverhead(n) * DecoderChipShare }
+
+// CapacityOverhead returns the fraction of DRAM storage consumed by n copy
+// rows per subarray of rowsPerSubarray regular rows (1.6 % for CROW-8).
+func CapacityOverhead(n, rowsPerSubarray int) float64 {
+	return float64(n) / float64(rowsPerSubarray)
+}
+
+// TLDRAMChipOverhead returns the DRAM chip area overhead of TL-DRAM with the
+// given near-segment size: the per-bitline isolation transistors dominate
+// (6.9 % at 8 near rows, per Figure 11b), plus the small near-segment
+// decoder.
+func TLDRAMChipOverhead(nearRows int) float64 {
+	const isolationShare = 0.0642
+	return isolationShare + ChipOverhead(nearRows)
+}
+
+// SALPChipOverhead returns the DRAM chip area overhead of SALP-MASA with the
+// given number of subarrays per bank (Figure 11b: 0.6 % at the baseline 128
+// subarrays, 28.9 % at 256, 84.5 % at 512 — extra subarrays add sense-
+// amplifier stripes). Interpolates linearly in the stripe count between the
+// paper's reported points.
+func SALPChipOverhead(subarraysPerBank int) float64 {
+	type pt struct{ s, o float64 }
+	table := []pt{{128, 0.006}, {256, 0.289}, {512, 0.845}}
+	s := float64(subarraysPerBank)
+	if s <= table[0].s {
+		return table[0].o
+	}
+	for i := 1; i < len(table); i++ {
+		if s <= table[i].s {
+			f := (s - table[i-1].s) / (table[i].s - table[i-1].s)
+			return table[i-1].o + f*(table[i].o-table[i-1].o)
+		}
+	}
+	// Extrapolate from the last segment.
+	last, prev := table[len(table)-1], table[len(table)-2]
+	slope := (last.o - prev.o) / (last.s - prev.s)
+	return last.o + slope*(s-last.s)
+}
+
+// TLDRAMTimings returns the near-segment latency deltas for a TL-DRAM near
+// segment of the given size, and the far-segment penalty from the isolation
+// transistor. With 8 near rows the model yields ≈ −73 % tRCD and −80 % tRAS,
+// matching the paper's Section 8.1.4.
+func (m *Model) TLDRAMTimings(nearRows int) (nearRCDDelta, nearRASDelta, farDelta float64) {
+	cbNear := m.Cb*float64(nearRows)/512 + m.SenseShareCap
+	dv := m.Cc * (m.ReadVoltage(m.Vfull) - m.Vref) / (m.Cc + cbNear)
+	rcd := m.T0 + m.SenseTime(dv)
+	tau := m.RsaCb * (cbNear + m.Cc) / (m.Cb + m.Cc)
+	ras := rcd + tau*math.Log((m.Vdd-m.Vref)/(m.Vdd-m.Vfull))
+	const isolationPenalty = 0.03
+	return rcd/BaseRCD - 1, ras/BaseRAS - 1, isolationPenalty
+}

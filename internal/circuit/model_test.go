@@ -1,0 +1,266 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdram/internal/dram"
+)
+
+func almost(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestCalibrationBaselines(t *testing.T) {
+	m := Default()
+	if got := m.TRCD(1, m.Vfull, false); !almost(got, BaseRCD, 1e-6) {
+		t.Errorf("tRCD(1) = %.4f ns, want %.4f", got, BaseRCD)
+	}
+	if got := m.TRAS(1, m.Vfull, m.Vfull, false); !almost(got, BaseRAS, 1e-6) {
+		t.Errorf("tRAS(1) = %.4f ns, want %.4f", got, BaseRAS)
+	}
+	if got := m.TWR(1, m.Vfull); !almost(got, BaseWR, 1e-6) {
+		t.Errorf("tWR(1) = %.4f ns, want %.4f", got, BaseWR)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tb := Default().Table1()
+	cases := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		// Calibrated exactly.
+		{"ACT-t full tRCD", tb.TwoFullRCD, -0.38, 0.005},
+		{"ACT-t full tRAS early", tb.TwoFullRASEarly, -0.33, 0.005},
+		{"ACT-t partial tRCD", tb.TwoPartialRCD, -0.21, 0.005},
+		{"ACT-c tRAS full", tb.CopyRASFull, +0.18, 0.005},
+		{"ACT-t WR full", tb.TwoFullWRFull, +0.14, 0.005},
+		// Predicted by the model; the paper's SPICE values are the
+		// targets, with a few points of slack for the lumped model.
+		{"ACT-t full tRAS full", tb.TwoFullRASFull, -0.07, 0.03},
+		{"ACT-t partial tRAS early", tb.TwoPartialRASEarly, -0.25, 0.03},
+		{"ACT-c tRAS early", tb.CopyRASEarly, -0.07, 0.04},
+		{"ACT-t WR early", tb.TwoFullWREarly, -0.13, 0.03},
+	}
+	for _, c := range cases {
+		if !almost(c.got, c.want, c.tol) {
+			t.Errorf("%s = %+.3f, want %+.3f (tol %.3f)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+// TestTable1AgreesWithDRAMTimings cross-checks the constants hard-coded in
+// internal/dram (used by the simulator) against the analytical model.
+func TestTable1AgreesWithDRAMTimings(t *testing.T) {
+	tb := Default().Table1()
+	pairs := []struct {
+		name  string
+		model float64
+		dram  float64
+		tol   float64
+	}{
+		{"TwoFull.RCD", tb.TwoFullRCD, dram.TwoFullRCDDelta, 0.01},
+		{"TwoPartial.RCD", tb.TwoPartialRCD, dram.TwoPartialRCDDelta, 0.01},
+		{"TwoFull.RASearly", tb.TwoFullRASEarly, dram.TwoFullRASDelta, 0.01},
+		{"TwoPartial.RASearly", tb.TwoPartialRASEarly, dram.TwoPartialRASDelta, 0.03},
+		{"Copy.RASfull", tb.CopyRASFull, dram.CopyFullRASDelta, 0.01},
+		{"Copy.RASearly", tb.CopyRASEarly, dram.CopyEarlyRASDelta, 0.04},
+		{"WR.early", tb.TwoFullWREarly, dram.EarlyWRDelta, 0.03},
+		{"WR.full", tb.TwoFullWRFull, dram.FullWRDelta, 0.01},
+	}
+	for _, p := range pairs {
+		if !almost(p.model, p.dram, p.tol) {
+			t.Errorf("%s: circuit model %+.3f vs dram constant %+.3f", p.name, p.model, p.dram)
+		}
+	}
+}
+
+func TestFig5Monotonicity(t *testing.T) {
+	pts := Default().Fig5(9)
+	if len(pts) != 9 {
+		t.Fatalf("Fig5 returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RCDDelta >= pts[i-1].RCDDelta {
+			t.Errorf("tRCD must keep decreasing with rows: n=%d %.3f >= %.3f", pts[i].Rows, pts[i].RCDDelta, pts[i-1].RCDDelta)
+		}
+		if pts[i].RestoreDelta <= pts[i-1].RestoreDelta {
+			t.Errorf("restore time must keep increasing with rows")
+		}
+		if pts[i].WRDelta <= pts[i-1].WRDelta {
+			t.Errorf("tWR must keep increasing with rows")
+		}
+	}
+	// Diminishing returns: the per-row tRCD gain shrinks.
+	gain1 := pts[0].RCDDelta - pts[1].RCDDelta
+	gainLast := pts[7].RCDDelta - pts[8].RCDDelta
+	if gainLast >= gain1 {
+		t.Errorf("tRCD gains must diminish: first %.4f, last %.4f", gain1, gainLast)
+	}
+	if pts[0].RCDDelta != 0 || pts[0].RASDelta != 0 {
+		t.Errorf("n=1 must be the baseline: %+v", pts[0])
+	}
+}
+
+// TestFig5RASShape reproduces the paper's observation that tRAS decreases
+// slightly for a small number of rows and increases for five or more.
+func TestFig5RASShape(t *testing.T) {
+	pts := Default().Fig5(9)
+	if pts[1].RASDelta >= 0 {
+		t.Errorf("tRAS at n=2 must decrease (got %+.3f)", pts[1].RASDelta)
+	}
+	if pts[8].RASDelta <= 0 {
+		t.Errorf("tRAS at n=9 must increase (got %+.3f)", pts[8].RASDelta)
+	}
+}
+
+func TestFig6TradeOffShape(t *testing.T) {
+	curves := Default().Fig6(4, 16)
+	if len(curves) != 3 {
+		t.Fatalf("Fig6 returned %d curves, want 3 (n=2..4)", len(curves))
+	}
+	for _, c := range curves {
+		for i := 1; i < len(c.Points); i++ {
+			// Higher restore voltage: longer tRAS, shorter next tRCD.
+			if c.Points[i].RAS <= c.Points[i-1].RAS {
+				t.Errorf("n=%d: tRAS must increase with restore level", c.Rows)
+			}
+			if c.Points[i].RCD >= c.Points[i-1].RCD {
+				t.Errorf("n=%d: next-activation tRCD must decrease with restore level", c.Rows)
+			}
+		}
+	}
+	// More rows allow deeper tRAS reduction at equal safety.
+	min2 := curves[0].Points[0].RAS
+	min3 := curves[1].Points[0].RAS
+	if min3 >= min2 {
+		t.Errorf("n=3 must reach lower tRAS than n=2 (%.2f vs %.2f)", min3, min2)
+	}
+}
+
+func TestOperatingPointWithinSafeRange(t *testing.T) {
+	m := Default()
+	if m.VrOp < m.MinPartialRestore(2) {
+		t.Errorf("operating restore %.4f V below safe minimum %.4f V", m.VrOp, m.MinPartialRestore(2))
+	}
+	if m.VrOp >= m.Vfull {
+		t.Errorf("operating restore must be partial (%.4f >= %.4f)", m.VrOp, m.Vfull)
+	}
+}
+
+func TestMRAPowerFactor(t *testing.T) {
+	if got := MRAPowerFactor(1); got != 1 {
+		t.Errorf("single-row power factor = %.3f, want 1", got)
+	}
+	if got := MRAPowerFactor(2); !almost(got, 1.058, 1e-9) {
+		t.Errorf("two-row power factor = %.3f, want 1.058 (paper: +5.8%%)", got)
+	}
+	for n := 2; n <= 9; n++ {
+		if MRAPowerFactor(n) <= MRAPowerFactor(n-1) {
+			t.Error("power must grow with simultaneously-activated rows")
+		}
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	if got := CopyDecoderArea(8); !almost(got, 9.6, 1e-9) {
+		t.Errorf("CROW-8 decoder area = %.2f µm², want 9.6", got)
+	}
+	if got := DecoderOverhead(8); !almost(got, 0.048, 0.001) {
+		t.Errorf("CROW-8 decoder overhead = %.4f, want ~0.048", got)
+	}
+	if got := ChipOverhead(8); !almost(got, 0.0048, 0.0002) {
+		t.Errorf("CROW-8 chip overhead = %.5f, want ~0.0048", got)
+	}
+	if got := CapacityOverhead(8, 512); !almost(got, 0.015625, 1e-9) {
+		t.Errorf("CROW-8 capacity overhead = %.4f, want 1.5625%%", got)
+	}
+}
+
+func TestBaselineAreaModels(t *testing.T) {
+	if got := TLDRAMChipOverhead(8); !almost(got, 0.069, 0.001) {
+		t.Errorf("TL-DRAM-8 chip overhead = %.4f, want ~0.069", got)
+	}
+	cases := map[int]float64{128: 0.006, 256: 0.289, 512: 0.845}
+	for s, want := range cases {
+		if got := SALPChipOverhead(s); !almost(got, want, 1e-9) {
+			t.Errorf("SALP-%d chip overhead = %.4f, want %.4f", s, got, want)
+		}
+	}
+	if SALPChipOverhead(192) <= 0.006 || SALPChipOverhead(192) >= 0.289 {
+		t.Error("interpolation between table points broken")
+	}
+	if SALPChipOverhead(1024) <= 0.845 {
+		t.Error("extrapolation beyond table broken")
+	}
+}
+
+func TestTLDRAMTimings(t *testing.T) {
+	rcd, ras, far := Default().TLDRAMTimings(8)
+	if !almost(rcd, -0.73, 0.05) {
+		t.Errorf("TL-DRAM-8 near tRCD delta = %+.3f, want ≈ −0.73", rcd)
+	}
+	if !almost(ras, -0.80, 0.08) {
+		t.Errorf("TL-DRAM-8 near tRAS delta = %+.3f, want ≈ −0.80", ras)
+	}
+	if far <= 0 || far > 0.1 {
+		t.Errorf("far-segment penalty %.3f out of range", far)
+	}
+	// A smaller near segment must be at least as fast.
+	rcd1, _, _ := Default().TLDRAMTimings(1)
+	if rcd1 > rcd {
+		t.Error("one-row near segment must not be slower than eight-row")
+	}
+}
+
+// TestRestoreMonotonicInTarget: restoring to a higher voltage always takes
+// longer, for any cell count — property test.
+func TestRestoreMonotonicInTarget(t *testing.T) {
+	m := Default()
+	f := func(nRaw uint8, aRaw, bRaw uint16) bool {
+		n := int(nRaw%8) + 1
+		lo := m.Vref + 0.05
+		a := lo + (m.Vfull-lo)*float64(aRaw)/65535
+		b := lo + (m.Vfull-lo)*float64(bRaw)/65535
+		if a > b {
+			a, b = b, a
+		}
+		return m.RestoreTime(n, a) <= m.RestoreTime(n, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSenseMonotonicInCharge: more restored charge never slows sensing.
+func TestSenseMonotonicInCharge(t *testing.T) {
+	m := Default()
+	f := func(nRaw uint8, aRaw, bRaw uint16) bool {
+		n := int(nRaw%8) + 1
+		lo := m.Vref + 0.05
+		a := lo + (m.Vfull-lo)*float64(aRaw)/65535
+		b := lo + (m.Vfull-lo)*float64(bRaw)/65535
+		if a > b {
+			a, b = b, a
+		}
+		return m.TRCD(n, b, false) <= m.TRCD(n, a, false)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinPartialRestoreSafety(t *testing.T) {
+	m := Default()
+	for n := 2; n <= 4; n++ {
+		vr := m.MinPartialRestore(n)
+		dv := m.ChargeShareDV(n, m.ReadVoltage(vr), m.Cb) * (1 - m.PartialDerate)
+		if dv < m.MinSenseDV()-1e-9 {
+			t.Errorf("n=%d: minimum restore %.4f V does not meet the sense margin", n, vr)
+		}
+		if n > 2 && vr >= m.MinPartialRestore(n-1) {
+			t.Errorf("more rows must allow lower restore targets")
+		}
+	}
+}

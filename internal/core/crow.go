@@ -1,0 +1,417 @@
+package core
+
+import (
+	"crowdram/internal/dram"
+	"crowdram/internal/retention"
+)
+
+// Stats counts CROW-table events.
+type Stats struct {
+	Hits       int64 // ACT-t activations of an existing duplicate
+	Misses     int64 // activations with no matching entry
+	Copies     int64 // ACT-c duplications into a copy row
+	Evictions  int64 // cache entries replaced
+	RestoreOps int64 // full-restore activations before eviction (4.1.4)
+	RefRemaps  int64 // activations redirected to a CROW-ref copy row
+	HamRemaps  int64 // victim rows remapped by the RowHammer mitigation
+	Fallback   bool  // CROW-ref fell back to the default refresh interval
+}
+
+// HitRate returns the CROW-table hit rate over cache-eligible activations.
+func (s *Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CROW is the combined CROW-substrate mechanism. Enabling Cache gives
+// CROW-cache (Section 4.1); attaching a weak-row profile gives CROW-ref
+// (Section 4.2); setting HammerThreshold enables the RowHammer mitigation
+// (Section 4.3). All three share the CROW-table, with CROW-ref and the
+// RowHammer mitigation pinning ways that CROW-cache then cannot use
+// (Section 8.3).
+type CROW struct {
+	T     dram.Timing
+	Table *Table
+	Crow  dram.CROWTimings
+
+	// Cache enables CROW-cache.
+	Cache bool
+	// Ref enables CROW-ref; weak rows come from the profile.
+	Ref bool
+	// HammerThreshold, when positive, remaps the neighbours of any row
+	// activated this many times within one refresh window.
+	HammerThreshold int
+	// FullRestore disables early-terminated restoration (the
+	// Section 4.1.3 optimization) as an ablation: every ACT-t and ACT-c
+	// restores fully, so pairs never need a restore-before-evict pass,
+	// but the tRAS and tWR reductions are forfeited.
+	FullRestore bool
+
+	Stats Stats
+
+	base dram.ActTimings
+
+	// Scrub enables idle-cycle restoration scrubbing. With the default
+	// lazy eviction policy it is unnecessary (and costs activation
+	// energy), so it is off unless enabled for ablation.
+	Scrub bool
+	// EagerRestore performs the restore-before-evict pass inline when a
+	// miss would evict a partially-restored pair (the paper's literal
+	// Section 4.1.4 flow); by default the allocation is skipped instead
+	// and the pair is restored off the critical path.
+	EagerRestore bool
+
+	// hammer activation counters per channel, keyed by rank/bank/row.
+	hammerCounts []map[int64]int
+	// pendingCopies are mechanism-initiated ACT-c operations (RowHammer
+	// victim duplication) awaiting issue, per channel.
+	pendingCopies [][]CopyOp
+	// partials lists cache entries left partially restored, per channel;
+	// the controller drains it with full-restore ACT-t passes during
+	// idle cycles so evictions rarely stall on a restore (the refresh
+	// sweep performs the same cleanup over a full retention window).
+	partials [][]dram.Addr
+}
+
+// CopyOp is a mechanism-initiated activate/precharge operation the
+// controller must perform at the next opportunity: an ACT-c row duplication
+// (RowHammer victim protection, dynamic CROW-ref remaps) or a plain
+// row-granular refresh activation (the RAIDR baseline).
+type CopyOp struct {
+	Addr    dram.Addr    // regular row to operate on (Col unused)
+	Kind    dram.ActKind // ActCopy for duplications, ActSingle for refreshes
+	CopyRow int
+	Timing  dram.ActTimings
+}
+
+// NewCROW builds the combined mechanism over a fresh CROW-table.
+func NewCROW(channels int, g dram.Geometry, t dram.Timing) *CROW {
+	return NewCROWShared(channels, g, t, 1)
+}
+
+// NewCROWShared builds the mechanism over a CROW-table whose entry sets are
+// shared across groups of `share` subarrays (the Section 6.1 storage
+// optimization).
+func NewCROWShared(channels int, g dram.Geometry, t dram.Timing, share int) *CROW {
+	c := &CROW{
+		T:     t,
+		Table: NewSharedTable(channels, g, share),
+		Crow:  t.CROW(),
+		base:  t.Base(),
+	}
+	c.hammerCounts = make([]map[int64]int, channels)
+	for i := range c.hammerCounts {
+		c.hammerCounts[i] = make(map[int64]int)
+	}
+	c.pendingCopies = make([][]CopyOp, channels)
+	c.partials = make([][]dram.Addr, channels)
+	return c
+}
+
+// Name implements Mechanism.
+func (c *CROW) Name() string {
+	switch {
+	case c.Cache && c.Ref:
+		return "crow-cache+ref"
+	case c.Cache:
+		return "crow-cache"
+	case c.Ref:
+		return "crow-ref"
+	case c.HammerThreshold > 0:
+		return "crow-hammer"
+	}
+	return "crow"
+}
+
+// LoadProfile installs a retention profile, remapping every weak regular row
+// to a strong copy row (Section 4.2.2). If any subarray has more weak rows
+// than available copy rows, CROW-ref falls back to the default refresh
+// interval for the whole system (Section 4.2.1) but still remaps what fits.
+func (c *CROW) LoadProfile(p *retention.Profile) {
+	g := c.Table.Geo
+	for ch, chw := range p.Weak {
+		for rk, rkw := range chw {
+			for bk, bkw := range rkw {
+				for sa, weak := range bkw {
+					a := dram.Addr{Channel: ch, Rank: rk, Bank: bk, Row: sa * g.RowsPerSubarray}
+					set := c.Table.Set(a)
+					for _, row := range weak {
+						w := FreeWay(set)
+						if w < 0 {
+							c.Stats.Fallback = true
+							break
+						}
+						set[w] = Entry{Allocated: true, RegularRow: row, SubTag: c.Table.SubTag(a), Kind: EntryRef, FullyRestored: true}
+					}
+				}
+			}
+		}
+	}
+}
+
+// RemapDynamic remaps one newly-discovered weak row at runtime
+// (Section 4.2.3, VRT support). It allocates a free copy row, queues the
+// ACT-c data copy, and returns false if the subarray is out of copy rows
+// (triggering the refresh-interval fallback).
+func (c *CROW) RemapDynamic(a dram.Addr) bool {
+	set := c.Table.Set(a)
+	if w := c.Table.Lookup(a); w >= 0 && set[w].Kind == EntryRef {
+		return true // already remapped
+	}
+	w := FreeWay(set)
+	if w < 0 {
+		c.Stats.Fallback = true
+		return false
+	}
+	set[w] = Entry{Allocated: true, RegularRow: c.Table.Geo.RowInSubarray(a.Row), SubTag: c.Table.SubTag(a), Kind: EntryRef, FullyRestored: true}
+	c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
+		Addr: a, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
+	})
+	return true
+}
+
+// PlanActivate implements Mechanism.
+func (c *CROW) PlanActivate(a dram.Addr, cycle int64) ActDecision {
+	set := c.Table.Set(a)
+	if w := c.Table.Lookup(a); w >= 0 {
+		switch set[w].Kind {
+		case EntryRef, EntryHammer:
+			// The regular row is remapped: activate the copy row
+			// alone at baseline timings (Section 4.2.2).
+			return ActDecision{Kind: dram.ActCopyRow, CopyRow: w, Timing: c.base}
+		case EntryCache:
+			t := c.Crow.TwoPartial
+			if set[w].FullyRestored {
+				t = c.Crow.TwoFull
+			}
+			if c.FullRestore {
+				// Pairs are always fully restored: fast sensing,
+				// but restoration runs to completion.
+				t = dram.ActTimings{
+					RCD:     c.Crow.TwoFull.RCD,
+					RAS:     c.Crow.TwoRestore.RAS,
+					RASFull: c.Crow.TwoRestore.RASFull,
+					WR:      c.Crow.TwoRestore.WR,
+				}
+			}
+			return ActDecision{Kind: dram.ActTwo, CopyRow: w, Timing: t}
+		}
+	}
+	if !c.Cache {
+		return ActDecision{Kind: dram.ActSingle, Timing: c.base}
+	}
+	// CROW-cache miss: duplicate into a free way, else the best victim
+	// (fully-restored entries first: replacing them needs no restore).
+	w := FreeWay(set)
+	if w < 0 {
+		w = VictimWay(set)
+	}
+	if w < 0 {
+		// Every way pinned by CROW-ref/RowHammer remaps.
+		return ActDecision{Kind: dram.ActSingle, Timing: c.base}
+	}
+	if set[w].Allocated && !set[w].FullyRestored {
+		// The victim pair is partially restored; evicting it requires a
+		// full restore first or a future single-row activation of it
+		// would corrupt data (Section 4.1.4). Under the default lazy
+		// policy we skip caching this activation instead — the partial
+		// pair becomes fully restored soon (a later long-held
+		// activation, the refresh sweep, or an idle-cycle scrub) and
+		// eviction resumes; under EagerRestore the controller performs
+		// the paper's restore-before-evict pass inline.
+		if !c.EagerRestore {
+			return ActDecision{Kind: dram.ActSingle, Timing: c.base}
+		}
+		return ActDecision{
+			Kind: dram.ActSingle, Timing: c.base,
+			RestoreFirst:   true,
+			RestoreRow:     c.Table.AbsoluteRow(a, set[w]),
+			RestoreCopyRow: w,
+			RestoreTiming:  c.Crow.TwoRestore,
+		}
+	}
+	copyPlan := c.Crow.Copy
+	if c.FullRestore {
+		copyPlan = c.Crow.CopyFull
+	}
+	return ActDecision{Kind: dram.ActCopy, CopyRow: w, Timing: copyPlan}
+}
+
+// OnActivate implements Mechanism.
+func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
+	set := c.Table.Set(a)
+	switch d.Kind {
+	case dram.ActTwo:
+		if d.RestoreFirst {
+			c.Stats.RestoreOps++
+			set[d.RestoreCopyRow].lastUse = cycle
+			break
+		}
+		c.Stats.Hits++
+		set[d.CopyRow].lastUse = cycle
+	case dram.ActCopy:
+		c.Stats.Misses++
+		c.Stats.Copies++
+		if set[d.CopyRow].Allocated {
+			c.Stats.Evictions++
+		}
+		set[d.CopyRow] = Entry{
+			Allocated:  true,
+			RegularRow: c.Table.Geo.RowInSubarray(a.Row),
+			SubTag:     c.Table.SubTag(a),
+			Kind:       EntryCache,
+			lastUse:    cycle,
+		}
+	case dram.ActCopyRow:
+		c.Stats.RefRemaps++
+	case dram.ActSingle:
+		if c.Cache && !d.RestoreFirst {
+			c.Stats.Misses++
+		}
+	}
+	if c.HammerThreshold > 0 && d.Kind != dram.ActCopyRow {
+		c.countHammer(a)
+	}
+}
+
+// OnPrecharge implements Mechanism.
+func (c *CROW) OnPrecharge(a dram.Addr, openRow int, fullyRestored bool, cycle int64) {
+	probe := a
+	probe.Row = openRow
+	set := c.Table.Set(probe)
+	row := c.Table.Geo.RowInSubarray(openRow)
+	tag := c.Table.SubTag(probe)
+	for w := range set {
+		if set[w].Allocated && set[w].Kind == EntryCache &&
+			set[w].RegularRow == row && set[w].SubTag == tag {
+			set[w].FullyRestored = fullyRestored
+			if !fullyRestored && c.Scrub {
+				c.partials[a.Channel] = append(c.partials[a.Channel], probe)
+			}
+			return
+		}
+	}
+}
+
+// OnRefreshRows implements Mechanism. Refresh fully restores the refreshed
+// rows, so any CROW-cache pair in the refreshed range becomes fully
+// restored; a wrap of the refresh counter also closes one RowHammer
+// counting window.
+func (c *CROW) OnRefreshRows(channel, rank, bank, startRow, n int) {
+	g := c.Table.Geo
+	lo, hi := 0, g.Banks
+	if bank >= 0 {
+		lo, hi = bank, bank+1
+	}
+	for b := lo; b < hi; b++ {
+		for row := startRow; row < startRow+n && row < g.RowsPerBank; row++ {
+			a := dram.Addr{Channel: channel, Rank: rank, Bank: b, Row: row}
+			set := c.Table.Set(a)
+			r := g.RowInSubarray(row)
+			tag := c.Table.SubTag(a)
+			for w := range set {
+				if set[w].Allocated && set[w].Kind == EntryCache &&
+					set[w].RegularRow == r && set[w].SubTag == tag {
+					set[w].FullyRestored = true
+				}
+			}
+		}
+	}
+	if startRow == 0 && len(c.hammerCounts[channel]) > 0 {
+		c.hammerCounts[channel] = make(map[int64]int)
+	}
+}
+
+// RefreshMultiplier implements Mechanism: CROW-ref doubles the refresh
+// window (64 ms → 128 ms) unless a subarray overflowed its copy rows.
+func (c *CROW) RefreshMultiplier() int {
+	if c.Ref && !c.Stats.Fallback {
+		return 2
+	}
+	return 1
+}
+
+// NextCopy pops a pending mechanism-initiated copy for the channel, if any.
+func (c *CROW) NextCopy(channel int) (CopyOp, bool) {
+	q := c.pendingCopies[channel]
+	if len(q) == 0 {
+		return CopyOp{}, false
+	}
+	op := q[0]
+	c.pendingCopies[channel] = q[1:]
+	return op, true
+}
+
+// NextScrub pops a partially-restored pair awaiting an idle-cycle full
+// restore. The controller calls it only when a channel is otherwise idle,
+// performing the restore as an ACT-t held to full tRAS. Stale candidates
+// (re-cached, evicted, or already restored) are skipped.
+func (c *CROW) NextScrub(channel int) (CopyOp, bool) {
+	for len(c.partials[channel]) > 0 {
+		a := c.partials[channel][0]
+		c.partials[channel] = c.partials[channel][1:]
+		w := c.Table.Lookup(a)
+		if w < 0 {
+			continue
+		}
+		set := c.Table.Set(a)
+		if set[w].Kind != EntryCache || set[w].FullyRestored {
+			continue
+		}
+		return CopyOp{
+			Addr: a, Kind: dram.ActTwo, CopyRow: w, Timing: c.Crow.TwoRestore,
+		}, true
+	}
+	return CopyOp{}, false
+}
+
+// RequeueScrub returns a scrub candidate the controller could not issue
+// this cycle; it will be revalidated on the next pop.
+func (c *CROW) RequeueScrub(channel int, a dram.Addr) {
+	c.partials[channel] = append(c.partials[channel], a)
+}
+
+// countHammer tracks per-row activation counts within a refresh window and
+// remaps the neighbours of a hammered row once it crosses the threshold.
+func (c *CROW) countHammer(a dram.Addr) {
+	g := c.Table.Geo
+	key := int64(a.Rank)<<40 | int64(a.Bank)<<32 | int64(a.Row)
+	m := c.hammerCounts[a.Channel]
+	m[key]++
+	// Trigger at the threshold and periodically after, so a victim whose
+	// protection was deferred (no safe copy row at the time) is retried.
+	if m[key] < c.HammerThreshold || m[key]%c.HammerThreshold != 0 {
+		return
+	}
+	for _, vr := range []int{a.Row - 1, a.Row + 1} {
+		if vr < 0 || vr >= g.RowsPerBank {
+			continue
+		}
+		victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: vr}
+		set := c.Table.Set(victim)
+		if w := c.Table.Lookup(victim); w >= 0 && set[w].Kind != EntryCache {
+			continue // already protected
+		}
+		w := FreeWay(set)
+		if w < 0 {
+			w = LRUWay(set)
+		}
+		if w < 0 {
+			continue
+		}
+		if set[w].Allocated && !set[w].FullyRestored {
+			// Evicting a partially-restored cache pair without a
+			// full restore would corrupt it (Section 4.1.4); skip
+			// and let a later activation re-trigger protection.
+			continue
+		}
+		set[w] = Entry{Allocated: true, RegularRow: g.RowInSubarray(vr), SubTag: c.Table.SubTag(victim), Kind: EntryHammer, FullyRestored: true}
+		c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
+			Addr: victim, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
+		})
+		c.Stats.HamRemaps++
+	}
+}

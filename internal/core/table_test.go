@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdram/internal/dram"
+)
+
+func TestEntryBits(t *testing.T) {
+	// 512 regular rows -> 9-bit RegularRowID, +1 special, +1 allocated.
+	if got := EntryBits(512, 1); got != 11 {
+		t.Errorf("EntryBits(512,1) = %d, want 11", got)
+	}
+	if got := EntryBits(1024, 2); got != 13 {
+		t.Errorf("EntryBits(1024,2) = %d, want 13", got)
+	}
+}
+
+func TestStoragePaperValue(t *testing.T) {
+	// Section 6.1: single channel, 512 regular rows/subarray, 1024
+	// subarrays, 8 copy rows/subarray -> 11.3 KB.
+	g := dram.Std(8)
+	if got := StorageBits(g, 1); got != 11*8*1024 {
+		t.Errorf("StorageBits = %d, want %d", got, 11*8*1024)
+	}
+	if got := StorageKB(g, 1); math.Abs(got-11.264) > 0.01 {
+		t.Errorf("StorageKB = %.3f, want 11.264 (paper: 11.3 KiB)", got)
+	}
+}
+
+func TestAccessTimePaperValue(t *testing.T) {
+	got := AccessTimeNs(dram.Std(8))
+	if math.Abs(got-0.14) > 0.02 {
+		t.Errorf("AccessTimeNs = %.3f, want ≈ 0.14 (paper's CACTI result)", got)
+	}
+}
+
+func TestTableSetIndependence(t *testing.T) {
+	g := dram.Std(2)
+	tb := NewTable(2, g)
+	a := dram.Addr{Channel: 0, Bank: 0, Row: 0}
+	b := dram.Addr{Channel: 1, Bank: 0, Row: 0}
+	c := dram.Addr{Channel: 0, Bank: 1, Row: 0}
+	d := dram.Addr{Channel: 0, Bank: 0, Row: g.RowsPerSubarray} // next subarray
+	tb.Set(a)[0] = Entry{Allocated: true, RegularRow: 0, Kind: EntryCache}
+	for _, other := range []dram.Addr{b, c, d} {
+		if tb.Set(other)[0].Allocated {
+			t.Errorf("sets must be independent; %+v aliases %+v", other, a)
+		}
+	}
+	if tb.Lookup(a) != 0 {
+		t.Error("Lookup must find the allocated entry")
+	}
+	if tb.Lookup(b) != -1 || tb.Lookup(d) != -1 {
+		t.Error("Lookup must miss in other sets")
+	}
+}
+
+func TestLookupMatchesRowWithinSubarray(t *testing.T) {
+	g := dram.Std(4)
+	tb := NewTable(1, g)
+	// Row 1000 lives in subarray 1, index 488.
+	a := dram.Addr{Row: 1000}
+	tb.Set(a)[2] = Entry{Allocated: true, RegularRow: 488, Kind: EntryCache}
+	if got := tb.Lookup(a); got != 2 {
+		t.Errorf("Lookup = %d, want 2", got)
+	}
+	// Same in-subarray index in a different subarray must miss.
+	if got := tb.Lookup(dram.Addr{Row: 488}); got != -1 {
+		t.Errorf("Lookup in subarray 0 = %d, want -1", got)
+	}
+}
+
+func TestFreeAndLRUWay(t *testing.T) {
+	set := make([]Entry, 4)
+	if FreeWay(set) != 0 {
+		t.Error("first free way is 0")
+	}
+	for w := range set {
+		set[w] = Entry{Allocated: true, Kind: EntryCache, lastUse: int64(10 - w)}
+	}
+	if FreeWay(set) != -1 {
+		t.Error("no free way in a full set")
+	}
+	if got := LRUWay(set); got != 3 {
+		t.Errorf("LRUWay = %d, want 3 (lastUse 7)", got)
+	}
+	// Pinned ways (ref/hammer) are not eviction candidates.
+	set[3].Kind = EntryRef
+	if got := LRUWay(set); got != 2 {
+		t.Errorf("LRUWay = %d, want 2 after pinning way 3", got)
+	}
+	for w := range set {
+		set[w].Kind = EntryRef
+	}
+	if LRUWay(set) != -1 {
+		t.Error("fully pinned set has no LRU victim")
+	}
+}
+
+// TestEntryBitsMonotonic: more rows or special bits never shrink the entry.
+func TestEntryBitsMonotonic(t *testing.T) {
+	f := func(rowsRaw uint8, special uint8) bool {
+		rows := int(rowsRaw)%1024 + 2
+		s := int(special % 4)
+		return EntryBits(rows+1, s) >= EntryBits(rows, s) &&
+			EntryBits(rows, s+1) == EntryBits(rows, s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package cpu implements the trace-driven processor model of Table 2: per
+// core, a 4-wide issue/retire pipeline with a 128-entry instruction window
+// and 8 MSHRs, in the style of Ramulator's CPU front-end. Non-memory
+// instructions retire immediately in order; loads block retirement until
+// their data returns from the memory hierarchy; stores retire immediately
+// once accepted (store-buffer semantics) but still occupy an MSHR on a miss.
+package cpu
+
+import "crowdram/internal/trace"
+
+// Memory is the core's port into the cache hierarchy. Access returns
+// accepted=false when the request cannot be tracked (retry next cycle) and
+// hit=true when it was served without an LLC miss.
+type Memory interface {
+	Access(now int64, core int, addr uint64, write bool, done func(now int64)) (accepted, hit bool)
+}
+
+// Translator maps a core's virtual addresses to physical addresses.
+type Translator interface {
+	Translate(core int, vaddr uint64) uint64
+}
+
+// Config parameterizes one core.
+type Config struct {
+	Width  int // issue/retire width (4)
+	Window int // instruction window entries (128)
+	MSHRs  int // outstanding LLC misses (8)
+}
+
+// DefaultConfig returns the Table 2 core configuration.
+func DefaultConfig() Config { return Config{Width: 4, Window: 128, MSHRs: 8} }
+
+// Core is one trace-driven core.
+type Core struct {
+	ID   int
+	Cfg  Config
+	Gen  trace.Generator
+	Mem  Memory
+	Xlat Translator
+
+	// window ring buffer: ready flags.
+	ready       []bool
+	head, count int
+
+	bubblesLeft int
+	rec         trace.Record
+	haveRec     bool
+
+	outstanding int // LLC misses in flight
+
+	// Retired counts completed instructions; Cycles counts elapsed core
+	// cycles (both reset at the end of warmup).
+	Retired int64
+	Cycles  int64
+
+	// StallWindow / StallMSHR count issue stalls by cause.
+	StallWindow int64
+	StallMSHR   int64
+}
+
+// New builds a core reading from gen.
+func New(id int, cfg Config, gen trace.Generator, mem Memory, xlat Translator) *Core {
+	return &Core{ID: id, Cfg: cfg, Gen: gen, Mem: mem, Xlat: xlat, ready: make([]bool, cfg.Window)}
+}
+
+// ResetStats zeroes the measurement counters (end of warmup).
+func (c *Core) ResetStats() {
+	c.Retired, c.Cycles = 0, 0
+	c.StallWindow, c.StallMSHR = 0, 0
+}
+
+// IPC returns retired instructions per cycle over the measured interval.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+func (c *Core) push(ready bool) int {
+	idx := (c.head + c.count) % c.Cfg.Window
+	c.ready[idx] = ready
+	c.count++
+	return idx
+}
+
+// Tick advances the core by one CPU cycle.
+func (c *Core) Tick(now int64) {
+	c.Cycles++
+	// Retire in order, up to width.
+	for i := 0; i < c.Cfg.Width && c.count > 0 && c.ready[c.head]; i++ {
+		c.head = (c.head + 1) % c.Cfg.Window
+		c.count--
+		c.Retired++
+	}
+	// Issue up to width instructions into the window.
+	for i := 0; i < c.Cfg.Width; i++ {
+		if c.count >= c.Cfg.Window {
+			c.StallWindow++
+			return
+		}
+		if c.bubblesLeft > 0 {
+			c.push(true)
+			c.bubblesLeft--
+			continue
+		}
+		if !c.haveRec {
+			c.rec = c.Gen.Next()
+			c.haveRec = true
+			if c.rec.Bubbles > 0 {
+				c.bubblesLeft = c.rec.Bubbles
+				continue // bubbles issue from the next slot
+			}
+		}
+		// Memory instruction.
+		if c.outstanding >= c.Cfg.MSHRs {
+			c.StallMSHR++
+			return
+		}
+		addr := c.Xlat.Translate(c.ID, c.rec.Addr)
+		// counted records whether this access occupies an MSHR; it is
+		// decided after Access reports hit/miss, and the completion
+		// callback (which can only fire on a later cycle) releases it.
+		counted := false
+		release := func(int64) {
+			if counted {
+				c.outstanding--
+			}
+		}
+		if c.rec.Write {
+			c.push(true) // stores retire via the store buffer
+			accepted, hit := c.Mem.Access(now, c.ID, addr, true, release)
+			if !accepted {
+				c.count-- // roll back the push
+				c.StallMSHR++
+				return
+			}
+			if !hit {
+				c.outstanding++
+				counted = true
+			}
+		} else {
+			idx := c.push(false)
+			accepted, hit := c.Mem.Access(now, c.ID, addr, false, func(at int64) {
+				c.ready[idx] = true
+				release(at)
+			})
+			if !accepted {
+				c.count--
+				c.StallMSHR++
+				return
+			}
+			if !hit {
+				c.outstanding++
+				counted = true
+			}
+		}
+		c.haveRec = false
+	}
+}

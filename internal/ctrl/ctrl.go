@@ -1,0 +1,673 @@
+// Package ctrl implements the memory controller of Table 2: per-channel
+// 64-entry read/write request queues, FR-FCFS-Cap scheduling [81], a
+// timeout-based row-buffer policy (75 ns), all-bank refresh management, and
+// the hook points where a core.Mechanism (CROW-cache, CROW-ref, TL-DRAM,
+// or the baseline) decides how each row activation is performed.
+package ctrl
+
+import (
+	"container/heap"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/metrics"
+)
+
+// ReqType distinguishes reads from writes.
+type ReqType int
+
+// Request types.
+const (
+	Read ReqType = iota
+	Write
+)
+
+// Request is one cache-line-sized memory request.
+type Request struct {
+	Type   ReqType
+	Addr   dram.Addr
+	Core   int
+	Arrive int64 // DRAM cycle the request entered the controller
+	Done   func(now int64)
+	IsPref bool // prefetch: scheduled behind demand requests
+}
+
+// Config parameterizes one controller instance.
+type Config struct {
+	ChannelID int
+	Geo       dram.Geometry
+	T         dram.Timing
+	ReadQ     int // read queue capacity (64)
+	WriteQ    int // write queue capacity (64)
+	Cap       int // FR-FCFS-Cap: row hits served per activation
+	TimeoutNs float64
+	MASA      bool // SALP-MASA subarray-level parallelism
+	OpenPage  bool // keep rows open until a conflict (SALP open-page)
+
+	// PerBankRefresh uses LPDDR4's REFpb instead of all-bank REFab:
+	// one bank refreshes (for the shorter tRFCpb) while the others stay
+	// accessible, at 8x the command rate.
+	PerBankRefresh bool
+	// MaxPostpone allows deferring up to this many due refreshes while
+	// demand requests are queued (JEDEC permits 8), catching up when the
+	// rank idles — elastic refresh [107].
+	MaxPostpone int
+}
+
+// DefaultConfig returns the Table 2 controller configuration.
+func DefaultConfig(channel int, g dram.Geometry, t dram.Timing) Config {
+	return Config{
+		ChannelID: channel,
+		Geo:       g,
+		T:         t,
+		ReadQ:     64,
+		WriteQ:    64,
+		Cap:       16,
+		TimeoutNs: 75,
+	}
+}
+
+// Stats aggregates controller-level statistics.
+type Stats struct {
+	ReadsServed    int64
+	WritesServed   int64
+	ReadLatencySum int64 // in DRAM cycles, arrival to data
+	RowHits        int64
+	RowMisses      int64 // activations performed for requests
+	RowConflicts   int64 // precharges forced by a conflicting request
+	Forwarded      int64 // reads served from the write queue
+	Refreshes      int64
+	TimeoutCloses  int64
+	MechCopies     int64 // mechanism-initiated ACT-c operations
+	Scrubs         int64 // idle-cycle full-restore passes
+}
+
+// AvgReadLatencyNs returns the mean read latency in nanoseconds.
+func (s *Stats) AvgReadLatencyNs() float64 {
+	if s.ReadsServed == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.ReadsServed) * dram.Cycle
+}
+
+// event is a scheduled completion callback.
+type event struct {
+	at  int64
+	req *Request
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type subKey struct{ rank, bank, sub int }
+
+// copyState tracks a mechanism-initiated ACT-c in flight.
+type copyState struct {
+	op     core.CopyOp
+	actAt  int64
+	active bool
+}
+
+// Controller schedules one channel.
+type Controller struct {
+	Cfg  Config
+	Dev  *dram.Channel
+	Mech core.Mechanism
+
+	readQ, writeQ []*Request
+	draining      bool
+
+	hitsServed map[subKey]int
+
+	refDue  []int64 // next refresh deadline per rank
+	refOwed []int   // refreshes due but not yet issued, per rank
+	refRow  []int   // refresh row counter per rank
+	refBank []int   // next bank to refresh per rank (per-bank mode)
+
+	pendingCopy *copyState
+
+	events      eventQueue
+	timeout     int64
+	lastEnqueue int64 // most recent demand arrival (gates scrubbing)
+	lastScrub   int64
+	bankLast    map[int]int64 // last demand command per bank (gates scrubbing)
+
+	// ReadLatency tracks the distribution of read latencies in DRAM
+	// cycles (arrival to data), in logarithmic buckets.
+	ReadLatency *metrics.Histogram
+
+	Stats Stats
+}
+
+// New builds a controller over a fresh device channel.
+func New(cfg Config, mech core.Mechanism) *Controller {
+	dev := dram.NewChannel(cfg.Geo, cfg.T)
+	dev.MASA = cfg.MASA
+	c := &Controller{
+		Cfg:         cfg,
+		Dev:         dev,
+		Mech:        mech,
+		hitsServed:  make(map[subKey]int),
+		bankLast:    make(map[int]int64),
+		timeout:     int64(cfg.TimeoutNs / dram.Cycle),
+		ReadLatency: metrics.NewHistogram(),
+	}
+	c.refDue = make([]int64, cfg.Geo.Ranks)
+	c.refOwed = make([]int, cfg.Geo.Ranks)
+	c.refRow = make([]int, cfg.Geo.Ranks)
+	c.refBank = make([]int, cfg.Geo.Ranks)
+	for r := range c.refDue {
+		c.refDue[r] = c.refInterval()
+	}
+	return c
+}
+
+func (c *Controller) refInterval() int64 {
+	mult := c.Mech.RefreshMultiplier()
+	if mult == 0 {
+		return 1 << 62
+	}
+	iv := int64(c.Cfg.T.REFI) * int64(mult)
+	if c.Cfg.PerBankRefresh {
+		iv /= int64(c.Cfg.Geo.Banks)
+	}
+	return iv
+}
+
+// QueueLens returns the current read and write queue occupancy.
+func (c *Controller) QueueLens() (int, int) { return len(c.readQ), len(c.writeQ) }
+
+// Idle reports whether the controller has no queued work or in-flight
+// events (used to drain simulations).
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.events) == 0 && c.pendingCopy == nil
+}
+
+// EnqueueRead accepts a read request, or returns false if the queue is full.
+// Reads matching a queued write are forwarded and complete immediately.
+func (c *Controller) EnqueueRead(r *Request, now int64) bool {
+	for _, w := range c.writeQ {
+		if w.Addr == r.Addr {
+			c.Stats.Forwarded++
+			c.Stats.ReadsServed++
+			heap.Push(&c.events, event{at: now + 1, req: r})
+			return true
+		}
+	}
+	if len(c.readQ) >= c.Cfg.ReadQ {
+		return false
+	}
+	r.Arrive = now
+	c.lastEnqueue = now
+	c.readQ = append(c.readQ, r)
+	return true
+}
+
+// EnqueueWrite accepts a write request, or returns false if the queue is
+// full. Writes complete (from the requester's view) on acceptance.
+func (c *Controller) EnqueueWrite(r *Request, now int64) bool {
+	if len(c.writeQ) >= c.Cfg.WriteQ {
+		return false
+	}
+	r.Arrive = now
+	c.lastEnqueue = now
+	c.writeQ = append(c.writeQ, r)
+	if r.Done != nil {
+		r.Done(now)
+	}
+	return true
+}
+
+// Tick advances the controller by one DRAM cycle, issuing at most one
+// command.
+func (c *Controller) Tick(now int64) {
+	c.Dev.Tick(now)
+	for len(c.events) > 0 && c.events[0].at <= now {
+		e := heap.Pop(&c.events).(event)
+		if e.req.Done != nil {
+			e.req.Done(now)
+		}
+	}
+
+	if c.serviceRefresh(now) {
+		return
+	}
+	if c.serviceMechCopy(now) {
+		return
+	}
+
+	c.updateDrainMode()
+	q, other := &c.readQ, &c.writeQ
+	if c.draining || len(c.readQ) == 0 {
+		q, other = &c.writeQ, &c.readQ
+	}
+	if c.schedule(q, now) {
+		return
+	}
+	// If the preferred queue could not issue, let the other queue's row
+	// hits through (writes never starve reads and vice versa).
+	if c.scheduleHits(other, now) {
+		return
+	}
+	if c.serviceTimeout(now) {
+		return
+	}
+	c.serviceScrub(now)
+}
+
+func (c *Controller) updateDrainMode() {
+	hi := c.Cfg.WriteQ * 3 / 4
+	lo := c.Cfg.WriteQ / 4
+	if !c.draining && (len(c.writeQ) >= hi || (len(c.readQ) == 0 && len(c.writeQ) > 0)) {
+		c.draining = true
+	}
+	if c.draining && (len(c.writeQ) <= lo || len(c.writeQ) == 0) && len(c.readQ) > 0 {
+		c.draining = false
+	}
+}
+
+func (c *Controller) key(a dram.Addr) subKey {
+	return subKey{a.Rank, a.Bank, a.Subarray(c.Cfg.Geo)}
+}
+
+func (c *Controller) bankKey(a dram.Addr) int { return a.Rank*c.Cfg.Geo.Banks + a.Bank }
+
+// serviceRefresh manages per-rank refresh (all-bank REFab or per-bank
+// REFpb), with optional elastic postponement; returns true if it issued a
+// command this cycle.
+func (c *Controller) serviceRefresh(now int64) bool {
+	for r := 0; r < c.Cfg.Geo.Ranks; r++ {
+		for now >= c.refDue[r] {
+			c.refOwed[r]++
+			c.refDue[r] += c.refInterval()
+		}
+		if c.refOwed[r] == 0 {
+			continue
+		}
+		// Elastic refresh: defer while demand is queued, unless the
+		// owed count has reached the postponement limit.
+		if c.refOwed[r] <= c.Cfg.MaxPostpone && c.hasRankDemand(r) {
+			continue
+		}
+		if c.Cfg.PerBankRefresh {
+			// Time each REFpb to bank idleness: defer while the target
+			// bank has queued demand, within the per-bank postponement
+			// budget JEDEC allows (8), so the refresh lands in a gap
+			// instead of stalling an active bank.
+			budget := c.Cfg.MaxPostpone
+			if budget == 0 {
+				budget = c.Cfg.Geo.Banks
+			}
+			if c.refOwed[r] <= budget && c.hasBankDemand(r, c.refBank[r]) {
+				continue
+			}
+			if c.refreshBank(r, now) {
+				return true
+			}
+			return false
+		}
+		if c.Dev.CanREF(r, now) {
+			c.Dev.REF(r, now)
+			c.Stats.Refreshes++
+			start := c.refRow[r]
+			c.Mech.OnRefreshRows(c.Cfg.ChannelID, r, -1, start, c.Cfg.T.RowsPerRef)
+			c.refRow[r] = (start + c.Cfg.T.RowsPerRef) % c.Cfg.Geo.RowsPerBank
+			c.refOwed[r]--
+			return true
+		}
+		// Close open rows so REF can issue.
+		for _, os := range c.Dev.OpenSubarrays() {
+			if os.Rank != r {
+				continue
+			}
+			a := dram.Addr{Channel: c.Cfg.ChannelID, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
+			if c.Dev.CanPRE(a, now) {
+				c.preAndNotify(a, now)
+				return true
+			}
+		}
+		// Blocked on tRAS/tRP; wait.
+		return false
+	}
+	return false
+}
+
+// refreshBank issues (or clears the way for) one per-bank refresh of the
+// next bank in the rank's round-robin order.
+func (c *Controller) refreshBank(r int, now int64) bool {
+	bank := c.refBank[r]
+	if c.Dev.CanREFpb(r, bank, now) {
+		c.Dev.REFpb(r, bank, now)
+		c.Stats.Refreshes++
+		start := c.refRow[r]
+		c.Mech.OnRefreshRows(c.Cfg.ChannelID, r, bank, start, c.Cfg.T.RowsPerRef)
+		c.refBank[r] = (bank + 1) % c.Cfg.Geo.Banks
+		if c.refBank[r] == 0 {
+			c.refRow[r] = (start + c.Cfg.T.RowsPerRef) % c.Cfg.Geo.RowsPerBank
+		}
+		c.refOwed[r]--
+		return true
+	}
+	// Close open rows of this bank only; the rest keep serving.
+	for _, os := range c.Dev.OpenSubarrays() {
+		if os.Rank != r || os.Bank != bank {
+			continue
+		}
+		a := dram.Addr{Channel: c.Cfg.ChannelID, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
+		if c.Dev.CanPRE(a, now) {
+			c.preAndNotify(a, now)
+			return true
+		}
+	}
+	return false
+}
+
+// hasRankDemand reports whether any queued request targets the rank.
+func (c *Controller) hasRankDemand(r int) bool {
+	for _, q := range [][]*Request{c.readQ, c.writeQ} {
+		for _, req := range q {
+			if req.Addr.Rank == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasBankDemand reports whether any queued request targets the bank.
+func (c *Controller) hasBankDemand(r, bank int) bool {
+	for _, q := range [][]*Request{c.readQ, c.writeQ} {
+		for _, req := range q {
+			if req.Addr.Rank == r && req.Addr.Bank == bank {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// serviceMechCopy executes mechanism-initiated ACT-c operations (RowHammer
+// victim duplication, dynamic CROW-ref remaps).
+func (c *Controller) serviceMechCopy(now int64) bool {
+	if c.pendingCopy == nil {
+		if cs, ok := c.Mech.(interface {
+			NextCopy(int) (core.CopyOp, bool)
+		}); ok {
+			if op, found := cs.NextCopy(c.Cfg.ChannelID); found {
+				c.pendingCopy = &copyState{op: op}
+			}
+		}
+	}
+	pc := c.pendingCopy
+	if pc == nil {
+		return false
+	}
+	a := pc.op.Addr
+	if !pc.active {
+		if open := c.Dev.OpenRow(a); open >= 0 {
+			if c.Dev.CanPRE(dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: open}, now) {
+				c.preAndNotify(dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: open}, now)
+				return true
+			}
+			return false
+		}
+		kind := pc.op.Kind
+		if kind == dram.ActSingle && pc.op.Timing == (dram.ActTimings{}) {
+			pc.op.Timing = c.Cfg.T.Base()
+		}
+		if c.Dev.CanACT(a, now, kind) {
+			c.Dev.ACT(a, now, kind, pc.op.Timing)
+			pc.active = true
+			pc.actAt = now
+			c.Stats.MechCopies++
+			return true
+		}
+		return false
+	}
+	// Copy activation in progress: precharge once fully restored.
+	if now >= pc.actAt+int64(pc.op.Timing.RASFull) && c.Dev.CanPRE(a, now) {
+		c.preAndNotify(a, now)
+		c.pendingCopy = nil
+		return true
+	}
+	return false
+}
+
+// preAndNotify precharges the subarray holding a.Row and informs the
+// mechanism of the restore outcome.
+func (c *Controller) preAndNotify(a dram.Addr, now int64) {
+	open := c.Dev.OpenRow(a)
+	full := c.Dev.PRE(a, now)
+	c.Mech.OnPrecharge(a, open, full, now)
+	delete(c.hitsServed, c.key(a))
+}
+
+// schedule runs the FR-FCFS-Cap passes over a queue; returns true if a
+// command was issued.
+func (c *Controller) schedule(q *[]*Request, now int64) bool {
+	if c.scheduleHits(q, now) {
+		return true
+	}
+	return c.scheduleOldest(q, now)
+}
+
+// scheduleHits serves the oldest row-buffer hit under the per-activation
+// cap, demand requests before prefetches.
+func (c *Controller) scheduleHits(q *[]*Request, now int64) bool {
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range *q {
+			if (r.IsPref) != (pass == 1) {
+				continue
+			}
+			if c.Dev.OpenRow(r.Addr) != r.Addr.Row {
+				continue
+			}
+			k := c.key(r.Addr)
+			if c.hitsServed[k] >= c.Cfg.Cap {
+				continue
+			}
+			if c.issueColumn(r, now) {
+				c.hitsServed[k]++
+				c.Stats.RowHits++
+				*q = append((*q)[:i], (*q)[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scheduleOldest progresses the oldest request that can make progress:
+// precharge a conflicting row, or activate a closed one.
+func (c *Controller) scheduleOldest(q *[]*Request, now int64) bool {
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range *q {
+			if (r.IsPref) != (pass == 1) {
+				continue
+			}
+			if c.progress(r, now) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// progress tries to issue the next command the request needs; returns true
+// if a command was issued.
+func (c *Controller) progress(r *Request, now int64) bool {
+	a := r.Addr
+	open := c.Dev.OpenRow(a)
+	if open == a.Row {
+		// Row open but over the hit cap: FR-FCFS-Cap treats it as a
+		// conflict and recycles the row [81].
+		if c.hitsServed[c.key(a)] >= c.Cfg.Cap && c.Dev.CanPRE(a, now) {
+			c.Stats.RowConflicts++
+			c.preAndNotify(a, now)
+			return true
+		}
+		return false
+	}
+	if open >= 0 {
+		// Conflict in this subarray.
+		victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: open}
+		if c.Dev.CanPRE(victim, now) {
+			c.Stats.RowConflicts++
+			c.preAndNotify(victim, now)
+			return true
+		}
+		return false
+	}
+	if !c.Cfg.MASA {
+		// Another subarray of the bank may hold the bank's one open row.
+		for _, os := range c.Dev.OpenSubarrays() {
+			if os.Rank != a.Rank || os.Bank != a.Bank {
+				continue
+			}
+			victim := dram.Addr{Channel: a.Channel, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
+			if c.Dev.CanPRE(victim, now) {
+				c.Stats.RowConflicts++
+				c.preAndNotify(victim, now)
+				return true
+			}
+			return false
+		}
+	}
+	// Subarray (and bank, if required) closed: activate.
+	d := c.Mech.PlanActivate(a, now)
+	if d.RestoreFirst {
+		ra := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: d.RestoreRow}
+		if c.Dev.CanACT(ra, now, dram.ActTwo) {
+			c.Dev.ACT(ra, now, dram.ActTwo, d.RestoreTiming)
+			c.Mech.OnActivate(ra, core.ActDecision{
+				Kind: dram.ActTwo, CopyRow: d.RestoreCopyRow,
+				Timing: d.RestoreTiming, RestoreFirst: true,
+				RestoreCopyRow: d.RestoreCopyRow,
+			}, now)
+			c.hitsServed[c.key(ra)] = 0
+			return true
+		}
+		return false
+	}
+	if c.Dev.CanACT(a, now, d.Kind) {
+		c.Dev.ACT(a, now, d.Kind, d.Timing)
+		c.Mech.OnActivate(a, d, now)
+		c.hitsServed[c.key(a)] = 0
+		c.bankLast[c.bankKey(a)] = now
+		c.Stats.RowMisses++
+		return true
+	}
+	return false
+}
+
+// issueColumn issues the RD or WR for a request whose row is open.
+func (c *Controller) issueColumn(r *Request, now int64) bool {
+	if r.Type == Read {
+		if !c.Dev.CanRD(r.Addr, now) {
+			return false
+		}
+		c.bankLast[c.bankKey(r.Addr)] = now
+		done := c.Dev.RD(r.Addr, now)
+		c.Stats.ReadsServed++
+		c.Stats.ReadLatencySum += done - r.Arrive
+		if !r.IsPref {
+			c.ReadLatency.Add(float64(done - r.Arrive))
+		}
+		heap.Push(&c.events, event{at: done, req: r})
+		return true
+	}
+	if !c.Dev.CanWR(r.Addr, now) {
+		return false
+	}
+	c.bankLast[c.bankKey(r.Addr)] = now
+	c.Dev.WR(r.Addr, now)
+	c.Stats.WritesServed++
+	return true
+}
+
+// serviceTimeout closes rows idle past the timeout with no queued requests
+// (the Table 2 timeout-based row-buffer policy); disabled under the SALP
+// open-page policy. Returns true if it issued a command.
+func (c *Controller) serviceTimeout(now int64) bool {
+	if c.Cfg.OpenPage {
+		return false
+	}
+	for _, os := range c.Dev.OpenSubarrays() {
+		if now-os.LastUse < c.timeout {
+			continue
+		}
+		a := dram.Addr{Channel: c.Cfg.ChannelID, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
+		if c.hasRequestFor(a) {
+			continue
+		}
+		if c.Dev.CanPRE(a, now) {
+			c.Stats.TimeoutCloses++
+			c.preAndNotify(a, now)
+			return true
+		}
+	}
+	return false
+}
+
+// serviceScrub uses fully idle cycles (empty queues, no refresh pending) to
+// fully restore partially-restored CROW pairs with an ACT-t held to full
+// tRAS, so that later evictions rarely stall on a restore pass. The opened
+// pair is closed by the normal timeout/conflict policies, at which point it
+// reports fully restored. Over a complete retention window the refresh sweep
+// performs the same cleanup; scrubbing brings the steady state forward.
+func (c *Controller) serviceScrub(now int64) {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || c.pendingCopy != nil {
+		return
+	}
+	// Only scrub after a short quiet period, at a bounded rate, and only
+	// into banks that have been cold for a while, so a bursty stream does
+	// not find its hot banks held by restore passes.
+	const quiet = 40
+	if now-c.lastEnqueue < quiet || now-c.lastScrub < quiet {
+		return
+	}
+	for r := range c.refOwed {
+		if c.refOwed[r] > 0 {
+			return
+		}
+	}
+	sc, ok := c.Mech.(interface {
+		NextScrub(int) (core.CopyOp, bool)
+		RequeueScrub(int, dram.Addr)
+	})
+	if !ok {
+		return
+	}
+	op, found := sc.NextScrub(c.Cfg.ChannelID)
+	if !found {
+		return
+	}
+	const bankCold = 250
+	if now-c.bankLast[c.bankKey(op.Addr)] < bankCold || !c.Dev.CanACT(op.Addr, now, op.Kind) {
+		sc.RequeueScrub(c.Cfg.ChannelID, op.Addr)
+		return
+	}
+	c.Dev.ACT(op.Addr, now, op.Kind, op.Timing)
+	c.hitsServed[c.key(op.Addr)] = 0
+	c.lastScrub = now
+	c.Stats.Scrubs++
+}
+
+func (c *Controller) hasRequestFor(a dram.Addr) bool {
+	for _, r := range c.readQ {
+		if r.Addr.Row == a.Row && r.Addr.Bank == a.Bank && r.Addr.Rank == a.Rank {
+			return true
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.Addr.Row == a.Row && r.Addr.Bank == a.Bank && r.Addr.Rank == a.Rank {
+			return true
+		}
+	}
+	return false
+}

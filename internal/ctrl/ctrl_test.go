@@ -1,0 +1,361 @@
+package ctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/retention"
+)
+
+func newBaseline(copyRows int) (*Controller, dram.Timing) {
+	g := dram.Std(copyRows)
+	t := dram.LPDDR4(dram.Density8Gb, 64, g)
+	c := New(DefaultConfig(0, g, t), &core.Baseline{T: t})
+	return c, t
+}
+
+// run ticks the controller until pred returns true or the deadline passes.
+func run(t *testing.T, c *Controller, deadline int64, pred func() bool) int64 {
+	t.Helper()
+	for now := int64(1); now <= deadline; now++ {
+		c.Tick(now)
+		if pred != nil && pred() {
+			return now
+		}
+	}
+	if pred != nil {
+		t.Fatalf("condition not reached within %d cycles", deadline)
+	}
+	return deadline
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c, tm := newBaseline(0)
+	var doneAt int64 = -1
+	req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: 3}, Done: func(now int64) { doneAt = now }}
+	if !c.EnqueueRead(req, 0) {
+		t.Fatal("enqueue failed")
+	}
+	run(t, c, 1000, func() bool { return doneAt >= 0 })
+	// ACT at cycle 1, RD at 1+tRCD, data at +tCL+tBL.
+	want := int64(1 + tm.RCD + tm.CL + tm.BL)
+	if doneAt != want {
+		t.Errorf("read completed at %d, want %d", doneAt, want)
+	}
+	if c.Stats.ReadsServed != 1 || c.Stats.RowMisses != 1 || c.Stats.RowHits != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestRowHitsAvoidReactivation(t *testing.T) {
+	c, _ := newBaseline(0)
+	done := 0
+	for i := 0; i < 4; i++ {
+		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64) { done++ }}
+		if !c.EnqueueRead(req, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	run(t, c, 2000, func() bool { return done == 4 })
+	if got := c.Dev.Stats.Activations(); got != 1 {
+		t.Errorf("activations = %d, want 1 (row hits)", got)
+	}
+	if c.Stats.RowHits != 4 {
+		t.Errorf("RowHits = %d, want 4", c.Stats.RowHits)
+	}
+}
+
+func TestFRFCFSCapRecyclesRow(t *testing.T) {
+	g := dram.Std(0)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	cfg := DefaultConfig(0, g, tm)
+	cfg.Cap = 2
+	c := New(cfg, &core.Baseline{T: tm})
+	done := 0
+	for i := 0; i < 6; i++ {
+		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64) { done++ }}
+		c.EnqueueRead(req, 0)
+	}
+	run(t, c, 5000, func() bool { return done == 6 })
+	// Cap 2 over 6 requests: 3 activations.
+	if got := c.Dev.Stats.Activations(); got != 3 {
+		t.Errorf("activations = %d, want 3 with cap 2", got)
+	}
+}
+
+func TestRowConflictPrecharges(t *testing.T) {
+	c, _ := newBaseline(0)
+	done := 0
+	cb := func(int64) { done++ }
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: cb}, 0)
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 2}, Done: cb}, 0)
+	run(t, c, 3000, func() bool { return done == 2 })
+	if c.Stats.RowConflicts < 1 {
+		t.Errorf("RowConflicts = %d, want >= 1", c.Stats.RowConflicts)
+	}
+	if c.Dev.Stats.Activations() != 2 {
+		t.Errorf("activations = %d, want 2", c.Dev.Stats.Activations())
+	}
+}
+
+func TestTimeoutClosesIdleRow(t *testing.T) {
+	c, _ := newBaseline(0)
+	done := false
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done = true }}, 0)
+	run(t, c, 1000, func() bool { return done })
+	// 75 ns = 120 cycles after last use, the row must close.
+	run(t, c, 2000, func() bool { return c.Stats.TimeoutCloses == 1 })
+	if c.Dev.OpenRow(dram.Addr{Row: 1}) != -1 {
+		t.Error("row must be closed by the timeout policy")
+	}
+}
+
+func TestOpenPagePolicyKeepsRowOpen(t *testing.T) {
+	g := dram.Std(0)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	cfg := DefaultConfig(0, g, tm)
+	cfg.OpenPage = true
+	c := New(cfg, &core.Baseline{T: tm})
+	done := false
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done = true }}, 0)
+	run(t, c, 1000, func() bool { return done })
+	run(t, c, 3000, nil)
+	if c.Dev.OpenRow(dram.Addr{Row: 1}) != 1 {
+		t.Error("open-page policy must keep the row open")
+	}
+	if c.Stats.TimeoutCloses != 0 {
+		t.Error("no timeout closes under open-page")
+	}
+}
+
+func TestRefreshCadence(t *testing.T) {
+	c, tm := newBaseline(0)
+	// Run a little over 4 refresh intervals.
+	run(t, c, int64(tm.REFI)*4+100, nil)
+	if c.Stats.Refreshes != 4 {
+		t.Errorf("refreshes = %d, want 4", c.Stats.Refreshes)
+	}
+}
+
+func TestRefreshClosesOpenRows(t *testing.T) {
+	c, tm := newBaseline(0)
+	cfg := c.Cfg
+	_ = cfg
+	// Keep a stream of row hits alive right up to the refresh deadline.
+	done := 0
+	for i := 0; ; i++ {
+		at := int64(i * 100)
+		if at > int64(tm.REFI) {
+			break
+		}
+		c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1, Col: i % 128}, Done: func(int64) { done++ }}, 0)
+	}
+	run(t, c, int64(tm.REFI)+int64(tm.RFC)+2000, func() bool { return c.Stats.Refreshes == 1 })
+}
+
+func TestCROWRefDoublesRefreshInterval(t *testing.T) {
+	g := dram.Std(8)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	mech := core.NewCROW(1, g, tm)
+	mech.Ref = true
+	mech.LoadProfile(retention.FixedProfile(retention.Geometry{
+		Channels: 1, Ranks: g.Ranks, Banks: g.Banks,
+		Subarrays: g.SubarraysPerBank(), RowsPerSubarray: g.RowsPerSubarray,
+	}, 3, 7))
+	c := New(DefaultConfig(0, g, tm), mech)
+	run(t, c, int64(tm.REFI)*4+100, nil)
+	if c.Stats.Refreshes != 2 {
+		t.Errorf("refreshes = %d, want 2 (doubled interval)", c.Stats.Refreshes)
+	}
+}
+
+func TestNoRefreshIdeal(t *testing.T) {
+	g := dram.Std(8)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	c := New(DefaultConfig(0, g, tm), &core.Ideal{T: tm, NoRefresh: true})
+	run(t, c, int64(tm.REFI)*4+100, nil)
+	if c.Stats.Refreshes != 0 {
+		t.Errorf("refreshes = %d, want 0", c.Stats.Refreshes)
+	}
+}
+
+func TestWriteDrainAndForwarding(t *testing.T) {
+	c, _ := newBaseline(0)
+	for i := 0; i < 50; i++ {
+		ok := c.EnqueueWrite(&Request{Type: Write, Addr: dram.Addr{Row: i % 4, Col: i}}, 0)
+		if !ok {
+			t.Fatal("write queue full too early")
+		}
+	}
+	// A read to a queued write's address forwards immediately.
+	fwd := false
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 0, Col: 0}, Done: func(int64) { fwd = true }}, 0)
+	run(t, c, 10, func() bool { return fwd })
+	if c.Stats.Forwarded != 1 {
+		t.Errorf("Forwarded = %d, want 1", c.Stats.Forwarded)
+	}
+	// Draining must eventually write everything back.
+	run(t, c, 50000, func() bool { _, w := c.QueueLens(); return w == 0 })
+	if c.Stats.WritesServed != 50 {
+		t.Errorf("WritesServed = %d, want 50", c.Stats.WritesServed)
+	}
+}
+
+func TestReadQueueBackpressure(t *testing.T) {
+	c, _ := newBaseline(0)
+	n := 0
+	for i := 0; ; i++ {
+		if !c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: i}}, 0) {
+			break
+		}
+		n++
+	}
+	if n != c.Cfg.ReadQ {
+		t.Errorf("accepted %d reads, want queue capacity %d", n, c.Cfg.ReadQ)
+	}
+}
+
+func TestCROWCacheEndToEnd(t *testing.T) {
+	g := dram.Std(8)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	mech := core.NewCROW(1, g, tm)
+	mech.Cache = true
+	c := New(DefaultConfig(0, g, tm), mech)
+	k := dram.NewChecker(g, tm, false)
+	k.Attach(c.Dev)
+
+	done := 0
+	cb := func(int64) { done++ }
+	// First activation of row 1: ACT-c. Conflict with row 2, then
+	// reactivate row 1: ACT-t.
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: cb}, 0)
+	run(t, c, 2000, func() bool { return done == 1 })
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 2}, Done: cb}, 0)
+	run(t, c, 4000, func() bool { return done == 2 })
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: cb}, 0)
+	run(t, c, 8000, func() bool { return done == 3 })
+
+	if c.Dev.Stats.ACTCopy < 2 {
+		t.Errorf("ACT-c count = %d, want >= 2 (rows 1 and 2 cached)", c.Dev.Stats.ACTCopy)
+	}
+	if c.Dev.Stats.ACTTwo < 1 {
+		t.Errorf("ACT-t count = %d, want >= 1 (row 1 re-activation)", c.Dev.Stats.ACTTwo)
+	}
+	if mech.Stats.Hits < 1 {
+		t.Errorf("CROW-table hits = %d, want >= 1", mech.Stats.Hits)
+	}
+	for _, v := range k.Violations {
+		t.Errorf("checker: %s", v)
+	}
+}
+
+func TestMechCopyExecution(t *testing.T) {
+	g := dram.Std(8)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	mech := core.NewCROW(1, g, tm)
+	mech.Ref = true
+	c := New(DefaultConfig(0, g, tm), mech)
+	if !mech.RemapDynamic(dram.Addr{Row: 9}) {
+		t.Fatal("remap failed")
+	}
+	run(t, c, 2000, func() bool {
+		return c.Stats.MechCopies == 1 && c.Dev.OpenRow(dram.Addr{Row: 9}) == -1
+	})
+	if c.Dev.Stats.ACTCopy != 1 {
+		t.Errorf("device ACT-c = %d, want 1", c.Dev.Stats.ACTCopy)
+	}
+	if c.Dev.Stats.PRE != 1 {
+		t.Error("copy activation must be precharged after full restoration")
+	}
+}
+
+// TestRandomTrafficObeysProtocol drives random requests through every
+// mechanism configuration with the independent checker attached, and makes
+// sure all requests complete and no timing constraint is ever violated.
+func TestRandomTrafficObeysProtocol(t *testing.T) {
+	configs := []struct {
+		name string
+		mech func(g dram.Geometry, tm dram.Timing) core.Mechanism
+		masa bool
+		open bool
+	}{
+		{"baseline", func(g dram.Geometry, tm dram.Timing) core.Mechanism { return &core.Baseline{T: tm} }, false, false},
+		{"crow-cache", func(g dram.Geometry, tm dram.Timing) core.Mechanism {
+			m := core.NewCROW(1, g, tm)
+			m.Cache = true
+			return m
+		}, false, false},
+		{"crow-cache+ref", func(g dram.Geometry, tm dram.Timing) core.Mechanism {
+			m := core.NewCROW(1, g, tm)
+			m.Cache = true
+			m.Ref = true
+			m.LoadProfile(retention.FixedProfile(retention.Geometry{
+				Channels: 1, Ranks: 1, Banks: 8, Subarrays: 128, RowsPerSubarray: 512,
+			}, 3, 11))
+			return m
+		}, false, false},
+		{"ideal", func(g dram.Geometry, tm dram.Timing) core.Mechanism { return &core.Ideal{T: tm} }, false, false},
+		{"salp-masa", func(g dram.Geometry, tm dram.Timing) core.Mechanism { return &core.Baseline{T: tm} }, true, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			g := dram.Std(8)
+			tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+			ctrlCfg := DefaultConfig(0, g, tm)
+			ctrlCfg.MASA = cfg.masa
+			ctrlCfg.OpenPage = cfg.open
+			c := New(ctrlCfg, cfg.mech(g, tm))
+			k := dram.NewChecker(g, tm, cfg.masa)
+			k.Attach(c.Dev)
+
+			rng := rand.New(rand.NewSource(1))
+			const total = 300
+			done := 0
+			issued := 0
+			for now := int64(1); done < total && now < 2_000_000; now++ {
+				if issued < total && rng.Intn(4) == 0 {
+					a := dram.Addr{
+						Bank: rng.Intn(8),
+						Row:  rng.Intn(64), // few rows: force reuse + conflicts
+						Col:  rng.Intn(128),
+					}
+					if rng.Intn(4) == 0 {
+						if c.EnqueueWrite(&Request{Type: Write, Addr: a}, now) {
+							issued++
+							done++ // writes complete at accept
+						}
+					} else {
+						if c.EnqueueRead(&Request{Type: Read, Addr: a, Done: func(int64) { done++ }}, now) {
+							issued++
+						}
+					}
+				}
+				c.Tick(now)
+			}
+			// Drain writes.
+			for now := int64(2_000_001); now < 2_200_000; now++ {
+				c.Tick(now)
+				if c.Idle() {
+					break
+				}
+			}
+			if done < total {
+				t.Fatalf("%s: only %d/%d requests completed", cfg.name, done, total)
+			}
+			if len(k.Violations) > 0 {
+				for _, v := range k.Violations[:min(5, len(k.Violations))] {
+					t.Errorf("checker: %s", v)
+				}
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

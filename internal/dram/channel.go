@@ -1,0 +1,478 @@
+package dram
+
+import "fmt"
+
+// subState tracks the activation state of one subarray's local row buffer.
+//
+// In conventional DRAM at most one subarray per bank holds an open row; with
+// SALP-MASA enabled (Section 8.1.4 baseline), every subarray may hold one.
+type subState struct {
+	openRow  int // regular-row index within the bank; -1 when closed
+	kind     ActKind
+	plan     ActTimings
+	actCycle int64
+	rdReady  int64 // earliest RD/WR (ACT + tRCD)
+	preReady int64 // earliest PRE (tRAS, tRTP, write recovery)
+	actReady int64 // earliest next ACT (PRE + tRP, REF + tRFC)
+	lastUse  int64 // last ACT/RD/WR cycle (for timeout row policy)
+}
+
+// bank groups the subarray states of one bank.
+type bank struct {
+	subs      []subState
+	openCount int
+	refBusy   int64 // per-bank refresh in progress until this cycle
+}
+
+// rank tracks rank-level activation and refresh constraints.
+type rank struct {
+	banks     []bank
+	actTimes  [4]int64 // ring of the last four ACT cycles (tFAW)
+	actHead   int
+	actCount  int
+	lastACT   int64 // most recent ACT (tRRD)
+	refBusy   int64 // REF in progress until this cycle
+	wrDataEnd int64 // end of most recent write burst (tWTR)
+}
+
+// Stats counts the commands issued to a channel, by type.
+type Stats struct {
+	ACT        int64 // conventional single-row activations
+	ACTTwo     int64 // ACT-t
+	ACTCopy    int64 // ACT-c
+	ACTCopyRow int64 // single activation of a copy row (CROW-ref remap)
+	PRE        int64
+	RD         int64
+	WR         int64
+	REF        int64 // all-bank refreshes
+	REFpb      int64 // per-bank refreshes
+
+	// ActRasSingle/ActRasMRA accumulate the per-activation restore
+	// window (the timing plan's tRAS) in cycles, for single-wordline and
+	// two-wordline activations respectively. Early-terminated CROW
+	// activations restore less charge and therefore consume less
+	// activation energy; the energy model integrates these windows.
+	ActRasSingle int64
+	ActRasMRA    int64
+
+	// OpenBufferCycles integrates the number of open local row buffers
+	// over time; the energy model uses it for active-standby power and
+	// for SALP's extra static power per additional open buffer.
+	OpenBufferCycles int64
+	// ActiveStandbyCycles counts cycles with at least one open row.
+	ActiveStandbyCycles int64
+	// RefreshBusyCycles counts cycles a rank was blocked by REF.
+	RefreshBusyCycles int64
+	// RDBusyCycles/WRBusyCycles count data-bus occupancy.
+	RDBusyCycles int64
+	WRBusyCycles int64
+}
+
+// Activations returns the total number of activate commands of all kinds.
+func (s *Stats) Activations() int64 { return s.ACT + s.ACTTwo + s.ACTCopy + s.ACTCopyRow }
+
+// Channel is the cycle-accurate device model of one DRAM channel.
+//
+// The controller drives it with Can*/issue method pairs; the device enforces
+// every intra-device timing constraint and panics on protocol violations
+// (issuing a command the device reported illegal is a controller bug).
+type Channel struct {
+	Geo Geometry
+	T   Timing
+
+	// MASA enables SALP-MASA subarray-level parallelism: multiple
+	// subarrays of the same bank may hold open rows concurrently.
+	MASA bool
+
+	ranks       []rank
+	cmdBusFree  int64 // next cycle the command bus is free
+	dataBusFree int64 // next cycle the data bus is free
+	lastColCmd  int64 // most recent RD/WR issue cycle (tCCD)
+
+	Stats Stats
+
+	// Check, when non-nil, independently re-validates every issued
+	// command against the raw command history (used by tests).
+	Check *Checker
+
+	lastTick int64
+}
+
+// NewChannel builds a closed, idle channel device.
+func NewChannel(g Geometry, t Timing) *Channel {
+	c := &Channel{Geo: g, T: t}
+	const never = int64(-1) << 62
+	c.lastColCmd = never
+	c.ranks = make([]rank, g.Ranks)
+	for r := range c.ranks {
+		c.ranks[r].lastACT = never
+		c.ranks[r].wrDataEnd = never
+		c.ranks[r].banks = make([]bank, g.Banks)
+		for b := range c.ranks[r].banks {
+			subs := make([]subState, g.SubarraysPerBank())
+			for s := range subs {
+				subs[s].openRow = -1
+			}
+			c.ranks[r].banks[b].subs = subs
+		}
+	}
+	return c
+}
+
+func (c *Channel) sub(a Addr) *subState {
+	return &c.ranks[a.Rank].banks[a.Bank].subs[a.Subarray(c.Geo)]
+}
+
+// Tick advances the channel's per-cycle accounting to `now`. The controller
+// calls it once per DRAM cycle before issuing commands.
+func (c *Channel) Tick(now int64) {
+	delta := now - c.lastTick
+	if delta <= 0 {
+		return
+	}
+	c.lastTick = now
+	open := int64(c.OpenBuffers())
+	c.Stats.OpenBufferCycles += open * delta
+	if open > 0 {
+		c.Stats.ActiveStandbyCycles += delta
+	}
+	for r := range c.ranks {
+		if c.ranks[r].refBusy > now {
+			c.Stats.RefreshBusyCycles += delta
+		}
+	}
+}
+
+// OpenBuffers returns the number of open local row buffers on the channel.
+func (c *Channel) OpenBuffers() int {
+	n := 0
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			n += c.ranks[r].banks[b].openCount
+		}
+	}
+	return n
+}
+
+// OpenRow returns the open regular-row index of the subarray containing
+// a.Row, or -1 if that subarray's buffer is closed.
+func (c *Channel) OpenRow(a Addr) int { return c.sub(a).openRow }
+
+// OpenRowInBank reports the open row of bank (rank,bank) in non-MASA mode,
+// or -1 if the bank is fully closed. With MASA, use OpenRow per subarray.
+func (c *Channel) OpenRowInBank(rankID, bankID int) int {
+	bk := &c.ranks[rankID].banks[bankID]
+	for s := range bk.subs {
+		if bk.subs[s].openRow >= 0 {
+			return bk.subs[s].openRow
+		}
+	}
+	return -1
+}
+
+// LastUse returns the cycle of the most recent ACT/RD/WR to the subarray
+// containing a.Row (for the timeout row-buffer policy).
+func (c *Channel) LastUse(a Addr) int64 { return c.sub(a).lastUse }
+
+// OpenSub describes one open local row buffer.
+type OpenSub struct {
+	Rank, Bank, Subarray, Row int
+	LastUse                   int64
+}
+
+// OpenSubarrays returns every open local row buffer on the channel, in
+// (rank, bank, subarray) order.
+func (c *Channel) OpenSubarrays() []OpenSub {
+	var out []OpenSub
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			bk := &c.ranks[r].banks[b]
+			if bk.openCount == 0 {
+				continue
+			}
+			for s := range bk.subs {
+				if bk.subs[s].openRow >= 0 {
+					out = append(out, OpenSub{
+						Rank: r, Bank: b, Subarray: s,
+						Row: bk.subs[s].openRow, LastUse: bk.subs[s].lastUse,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ActCycle returns the cycle at which the currently open row of a's
+// subarray was activated. Only meaningful when OpenRow(a) >= 0.
+func (c *Channel) ActCycle(a Addr) int64 { return c.sub(a).actCycle }
+
+// OpenKind returns the activation kind of the currently open row of a's
+// subarray. Only meaningful when OpenRow(a) >= 0.
+func (c *Channel) OpenKind(a Addr) ActKind { return c.sub(a).kind }
+
+// CanACT reports whether an activation of kind k targeting a.Row's subarray
+// may issue at cycle `now`.
+func (c *Channel) CanACT(a Addr, now int64, k ActKind) bool {
+	rk := &c.ranks[a.Rank]
+	bk := &rk.banks[a.Bank]
+	s := &bk.subs[a.Subarray(c.Geo)]
+	if s.openRow >= 0 {
+		return false
+	}
+	if !c.MASA && bk.openCount > 0 {
+		return false
+	}
+	if now < c.cmdBusFree || now < s.actReady || now < rk.refBusy || now < bk.refBusy {
+		return false
+	}
+	if now < rk.lastACT+int64(c.T.RRD) {
+		return false
+	}
+	if rk.actCount == 4 && now < rk.actTimes[rk.actHead]+int64(c.T.FAW) {
+		return false
+	}
+	return true
+}
+
+// ACT issues an activation of kind k with per-activation timings t.
+func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings) {
+	if !c.CanACT(a, now, k) {
+		panic(fmt.Sprintf("dram: illegal %v to ch%d/r%d/b%d row %d at cycle %d", k, a.Channel, a.Rank, a.Bank, a.Row, now))
+	}
+	rk := &c.ranks[a.Rank]
+	bk := &rk.banks[a.Bank]
+	s := &bk.subs[a.Subarray(c.Geo)]
+	s.openRow = a.Row
+	s.kind = k
+	s.plan = t
+	s.actCycle = now
+	s.rdReady = now + int64(t.RCD)
+	s.preReady = now + int64(t.RAS)
+	s.lastUse = now
+	bk.openCount++
+	rk.lastACT = now
+	rk.actTimes[rk.actHead] = now
+	rk.actHead = (rk.actHead + 1) % 4
+	if rk.actCount < 4 {
+		rk.actCount++
+	}
+	c.cmdBusFree = now + int64(k.CmdCycles())
+	switch k {
+	case ActSingle:
+		c.Stats.ACT++
+		c.Stats.ActRasSingle += int64(t.RAS)
+	case ActTwo:
+		c.Stats.ACTTwo++
+		c.Stats.ActRasMRA += int64(t.RAS)
+	case ActCopy:
+		c.Stats.ACTCopy++
+		c.Stats.ActRasMRA += int64(t.RAS)
+	case ActCopyRow:
+		c.Stats.ACTCopyRow++
+		c.Stats.ActRasSingle += int64(t.RAS)
+	}
+	if c.Check != nil {
+		c.Check.RecordPlanned(cmdACTBase+Command(k), a, now, t)
+	}
+}
+
+// CanRD reports whether a read of a.Col from the open row a.Row may issue.
+func (c *Channel) CanRD(a Addr, now int64) bool {
+	rk := &c.ranks[a.Rank]
+	s := c.sub(a)
+	if s.openRow != a.Row {
+		return false
+	}
+	if now < c.cmdBusFree || now < s.rdReady {
+		return false
+	}
+	if now < c.lastColCmd+int64(c.T.CCD) {
+		return false
+	}
+	if now < rk.wrDataEnd+int64(c.T.WTR) {
+		return false
+	}
+	if now+int64(c.T.CL) < c.dataBusFree {
+		return false
+	}
+	return true
+}
+
+// RD issues a read and returns the cycle at which the data burst completes.
+func (c *Channel) RD(a Addr, now int64) int64 {
+	if !c.CanRD(a, now) {
+		panic(fmt.Sprintf("dram: illegal RD to ch%d/r%d/b%d row %d at cycle %d", a.Channel, a.Rank, a.Bank, a.Row, now))
+	}
+	s := c.sub(a)
+	dataStart := now + int64(c.T.CL)
+	c.dataBusFree = dataStart + int64(c.T.BL)
+	c.lastColCmd = now
+	c.cmdBusFree = now + 1
+	if pre := now + int64(c.T.RTP); pre > s.preReady {
+		s.preReady = pre
+	}
+	s.lastUse = now
+	c.Stats.RD++
+	c.Stats.RDBusyCycles += int64(c.T.BL)
+	if c.Check != nil {
+		c.Check.record(CmdRD, a, now)
+	}
+	return dataStart + int64(c.T.BL)
+}
+
+// CanWR reports whether a write to a.Col of the open row a.Row may issue.
+func (c *Channel) CanWR(a Addr, now int64) bool {
+	s := c.sub(a)
+	if s.openRow != a.Row {
+		return false
+	}
+	if now < c.cmdBusFree || now < s.rdReady {
+		return false
+	}
+	if now < c.lastColCmd+int64(c.T.CCD) {
+		return false
+	}
+	if now+int64(c.T.CWL) < c.dataBusFree {
+		return false
+	}
+	return true
+}
+
+// WR issues a write. The write-recovery time applied before a PRE of this
+// subarray is the per-activation plan's WR (writes to an MRA-opened pair
+// restore two cells; Table 1).
+func (c *Channel) WR(a Addr, now int64) {
+	if !c.CanWR(a, now) {
+		panic(fmt.Sprintf("dram: illegal WR to ch%d/r%d/b%d row %d at cycle %d", a.Channel, a.Rank, a.Bank, a.Row, now))
+	}
+	rk := &c.ranks[a.Rank]
+	s := c.sub(a)
+	dataEnd := now + int64(c.T.CWL) + int64(c.T.BL)
+	c.dataBusFree = dataEnd
+	c.lastColCmd = now
+	c.cmdBusFree = now + 1
+	rk.wrDataEnd = dataEnd
+	if pre := dataEnd + int64(s.plan.WR); pre > s.preReady {
+		s.preReady = pre
+	}
+	s.lastUse = now
+	c.Stats.WR++
+	c.Stats.WRBusyCycles += int64(c.T.BL)
+	if c.Check != nil {
+		c.Check.record(CmdWR, a, now)
+	}
+}
+
+// CanPRE reports whether the subarray holding a.Row may be precharged.
+func (c *Channel) CanPRE(a Addr, now int64) bool {
+	s := c.sub(a)
+	if s.openRow < 0 {
+		return false
+	}
+	return now >= c.cmdBusFree && now >= s.preReady
+}
+
+// PRE closes the open row of a.Row's subarray and returns whether the
+// activation was held open for at least the plan's full-restoration time,
+// which is what decides the isFullyRestored state of a CROW pair
+// (Section 4.1.4).
+func (c *Channel) PRE(a Addr, now int64) (fullyRestored bool) {
+	if !c.CanPRE(a, now) {
+		panic(fmt.Sprintf("dram: illegal PRE to ch%d/r%d/b%d at cycle %d", a.Channel, a.Rank, a.Bank, now))
+	}
+	s := c.sub(a)
+	full := now-s.actCycle >= int64(s.plan.RASFull)
+	s.openRow = -1
+	if ready := now + int64(c.T.RP); ready > s.actReady {
+		s.actReady = ready
+	}
+	c.ranks[a.Rank].banks[a.Bank].openCount--
+	c.cmdBusFree = now + 1
+	c.Stats.PRE++
+	if c.Check != nil {
+		c.Check.record(CmdPRE, a, now)
+	}
+	return full
+}
+
+// CanREFpb reports whether a per-bank refresh of one bank may issue: that
+// bank's subarrays must be closed and past precharge recovery, and no other
+// refresh may be in progress on the rank. Other banks remain accessible —
+// the point of LPDDR4's per-bank refresh mode.
+func (c *Channel) CanREFpb(rankID, bankID int, now int64) bool {
+	rk := &c.ranks[rankID]
+	bk := &rk.banks[bankID]
+	if now < c.cmdBusFree || now < rk.refBusy || now < bk.refBusy {
+		return false
+	}
+	if bk.openCount > 0 {
+		return false
+	}
+	for s := range bk.subs {
+		if now < bk.subs[s].actReady {
+			return false
+		}
+	}
+	return true
+}
+
+// REFpb issues a per-bank refresh, blocking only that bank for tRFCpb.
+func (c *Channel) REFpb(rankID, bankID int, now int64) {
+	if !c.CanREFpb(rankID, bankID, now) {
+		panic(fmt.Sprintf("dram: illegal REFpb to rank %d bank %d at cycle %d", rankID, bankID, now))
+	}
+	bk := &c.ranks[rankID].banks[bankID]
+	bk.refBusy = now + int64(c.T.RFCpb)
+	for s := range bk.subs {
+		if bk.subs[s].actReady < bk.refBusy {
+			bk.subs[s].actReady = bk.refBusy
+		}
+	}
+	c.cmdBusFree = now + 1
+	c.Stats.REFpb++
+	if c.Check != nil {
+		c.Check.record(CmdREFpb, Addr{Rank: rankID, Bank: bankID}, now)
+	}
+}
+
+// CanREF reports whether an all-bank refresh of the rank may issue: every
+// subarray must be closed and past its precharge recovery.
+func (c *Channel) CanREF(rankID int, now int64) bool {
+	rk := &c.ranks[rankID]
+	if now < c.cmdBusFree || now < rk.refBusy {
+		return false
+	}
+	for b := range rk.banks {
+		if rk.banks[b].openCount > 0 || now < rk.banks[b].refBusy {
+			return false
+		}
+		for s := range rk.banks[b].subs {
+			if now < rk.banks[b].subs[s].actReady {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// REF issues an all-bank refresh, blocking the rank for tRFC.
+func (c *Channel) REF(rankID int, now int64) {
+	if !c.CanREF(rankID, now) {
+		panic(fmt.Sprintf("dram: illegal REF to rank %d at cycle %d", rankID, now))
+	}
+	rk := &c.ranks[rankID]
+	rk.refBusy = now + int64(c.T.RFC)
+	for b := range rk.banks {
+		for s := range rk.banks[b].subs {
+			if rk.banks[b].subs[s].actReady < rk.refBusy {
+				rk.banks[b].subs[s].actReady = rk.refBusy
+			}
+		}
+	}
+	c.cmdBusFree = now + 1
+	c.Stats.REF++
+	if c.Check != nil {
+		c.Check.record(CmdREF, Addr{Rank: rankID}, now)
+	}
+}

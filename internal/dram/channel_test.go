@@ -1,0 +1,329 @@
+package dram
+
+import "testing"
+
+func testChannel(t *testing.T, copyRows int) (*Channel, *Checker) {
+	t.Helper()
+	g := Std(copyRows)
+	tm := LPDDR4(Density8Gb, 64, g)
+	c := NewChannel(g, tm)
+	k := NewChecker(g, tm, false)
+	k.Attach(c)
+	return c, k
+}
+
+func requireClean(t *testing.T, k *Checker) {
+	t.Helper()
+	for _, v := range k.Violations {
+		t.Errorf("checker violation: %s", v)
+	}
+}
+
+func TestActivateReadPrechargeSequence(t *testing.T) {
+	c, k := testChannel(t, 0)
+	a := Addr{Bank: 0, Row: 100, Col: 5}
+	base := c.T.Base()
+
+	if !c.CanACT(a, 0, ActSingle) {
+		t.Fatal("ACT to idle bank must be legal at cycle 0")
+	}
+	c.ACT(a, 0, ActSingle, base)
+
+	if c.OpenRow(a) != 100 {
+		t.Errorf("OpenRow = %d, want 100", c.OpenRow(a))
+	}
+	if c.CanRD(a, int64(c.T.RCD)-1) {
+		t.Error("RD must be illegal before tRCD")
+	}
+	if !c.CanRD(a, int64(c.T.RCD)) {
+		t.Fatal("RD must be legal at tRCD")
+	}
+	done := c.RD(a, int64(c.T.RCD))
+	wantDone := int64(c.T.RCD + c.T.CL + c.T.BL)
+	if done != wantDone {
+		t.Errorf("RD data done = %d, want %d", done, wantDone)
+	}
+
+	if c.CanPRE(a, int64(c.T.RAS)-1) {
+		t.Error("PRE must be illegal before tRAS")
+	}
+	if !c.CanPRE(a, int64(c.T.RAS)) {
+		t.Fatal("PRE must be legal at tRAS")
+	}
+	if full := c.PRE(a, int64(c.T.RAS)); !full {
+		t.Error("PRE at default tRAS counts as fully restored")
+	}
+	if c.OpenRow(a) != -1 {
+		t.Error("row must be closed after PRE")
+	}
+
+	// Next ACT must wait tRP.
+	preAt := int64(c.T.RAS)
+	if c.CanACT(a, preAt+int64(c.T.RP)-1, ActSingle) {
+		t.Error("ACT must be illegal before tRP")
+	}
+	if !c.CanACT(a, preAt+int64(c.T.RP), ActSingle) {
+		t.Error("ACT must be legal at PRE+tRP")
+	}
+	requireClean(t, k)
+}
+
+func TestReadToWrongRowIllegal(t *testing.T) {
+	c, _ := testChannel(t, 0)
+	c.ACT(Addr{Row: 1}, 0, ActSingle, c.T.Base())
+	if c.CanRD(Addr{Row: 2}, 100) {
+		t.Error("RD to a row other than the open one must be illegal")
+	}
+}
+
+func TestSingleOpenRowPerBank(t *testing.T) {
+	c, _ := testChannel(t, 0)
+	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base())
+	// Another subarray of the same bank: illegal without MASA.
+	if c.CanACT(Addr{Row: 512}, 1000, ActSingle) {
+		t.Error("second open row in one bank must be illegal without MASA")
+	}
+	// Another bank: legal (after tRRD).
+	if !c.CanACT(Addr{Bank: 1, Row: 0}, 1000, ActSingle) {
+		t.Error("ACT to another bank must be legal")
+	}
+}
+
+func TestMASAAllowsMultipleOpenSubarrays(t *testing.T) {
+	g := Std(0)
+	tm := LPDDR4(Density8Gb, 64, g)
+	c := NewChannel(g, tm)
+	c.MASA = true
+	k := NewChecker(g, tm, true)
+	k.Attach(c)
+
+	c.ACT(Addr{Row: 0}, 0, ActSingle, tm.Base())
+	other := Addr{Row: 512} // different subarray, same bank
+	if !c.CanACT(other, int64(tm.RRD), ActSingle) {
+		t.Fatal("MASA must allow a second subarray activation in the same bank")
+	}
+	c.ACT(other, int64(tm.RRD), ActSingle, tm.Base())
+	if c.OpenRow(Addr{Row: 0}) != 0 || c.OpenRow(other) != 512 {
+		t.Error("both subarrays must be open")
+	}
+	if c.OpenBuffers() != 2 {
+		t.Errorf("OpenBuffers = %d, want 2", c.OpenBuffers())
+	}
+	// Same subarray still at most one row.
+	if c.CanACT(Addr{Row: 1}, 1000, ActSingle) {
+		t.Error("same subarray must not open a second row")
+	}
+	requireClean(t, k)
+}
+
+func TestTRRDAndTFAW(t *testing.T) {
+	// With the stock LPDDR4 parameters 4*tRRD == tFAW, so tFAW never
+	// binds; shrink tRRD to make the four-activate window observable.
+	g := Std(0)
+	tm := LPDDR4(Density8Gb, 64, g)
+	tm.RRD = 4
+	c := NewChannel(g, tm)
+	k := NewChecker(g, tm, false)
+	k.Attach(c)
+	base := tm.Base()
+	rrd := int64(tm.RRD)
+
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
+	if c.CanACT(Addr{Bank: 1, Row: 0}, rrd-1, ActSingle) {
+		t.Error("tRRD must gate back-to-back ACTs")
+	}
+	c.ACT(Addr{Bank: 1, Row: 0}, rrd, ActSingle, base)
+	c.ACT(Addr{Bank: 2, Row: 0}, 2*rrd, ActSingle, base)
+	c.ACT(Addr{Bank: 3, Row: 0}, 3*rrd, ActSingle, base)
+	// Fifth ACT within tFAW of the first must be illegal.
+	if c.CanACT(Addr{Bank: 4, Row: 0}, 4*rrd, ActSingle) {
+		t.Error("tFAW must gate the fifth ACT")
+	}
+	if !c.CanACT(Addr{Bank: 4, Row: 0}, int64(tm.FAW), ActSingle) {
+		t.Error("fifth ACT at tFAW must be legal")
+	}
+	c.ACT(Addr{Bank: 4, Row: 0}, int64(tm.FAW), ActSingle, base)
+	requireClean(t, k)
+}
+
+func TestWriteRecoveryGatesPrecharge(t *testing.T) {
+	c, k := testChannel(t, 0)
+	a := Addr{Row: 7}
+	c.ACT(a, 0, ActSingle, c.T.Base())
+	wrAt := int64(c.T.RCD)
+	c.WR(a, wrAt)
+	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
+	preOK := dataEnd + int64(c.T.WR)
+	if c.CanPRE(a, preOK-1) {
+		t.Error("PRE must be illegal before write recovery completes")
+	}
+	if !c.CanPRE(a, preOK) {
+		t.Error("PRE must be legal after write recovery")
+	}
+	c.PRE(a, preOK)
+	requireClean(t, k)
+}
+
+func TestMRAWriteRecoveryUsesPlan(t *testing.T) {
+	c, _ := testChannel(t, 8)
+	crow := c.T.CROW()
+	a := Addr{Row: 7}
+	c.ACT(a, 0, ActTwo, crow.TwoPartial)
+	wrAt := int64(crow.TwoPartial.RCD)
+	c.WR(a, wrAt)
+	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
+	preOK := dataEnd + int64(crow.TwoPartial.WR)
+	if c.CanPRE(a, preOK-1) {
+		t.Error("PRE must respect the MRA plan's reduced tWR, not the default")
+	}
+	if !c.CanPRE(a, preOK) {
+		t.Error("PRE must be legal after the plan's write recovery")
+	}
+}
+
+func TestPartialRestoreDetection(t *testing.T) {
+	c, _ := testChannel(t, 8)
+	crow := c.T.CROW()
+	a := Addr{Row: 3}
+	c.ACT(a, 0, ActTwo, crow.TwoFull)
+	// Closing at the reduced tRAS terminates restoration early.
+	if full := c.PRE(a, int64(crow.TwoFull.RAS)); full {
+		t.Error("PRE before default tRAS must report partial restoration")
+	}
+	// Reopen and hold past default tRAS: fully restored.
+	reACT := int64(crow.TwoFull.RAS) + int64(c.T.RP)
+	c.ACT(a, reACT, ActTwo, crow.TwoPartial)
+	if full := c.PRE(a, reACT+int64(c.T.RAS)); !full {
+		t.Error("PRE at/after default tRAS must report full restoration")
+	}
+}
+
+func TestRefreshBlocksRank(t *testing.T) {
+	c, k := testChannel(t, 0)
+	if !c.CanREF(0, 0) {
+		t.Fatal("REF to idle rank must be legal")
+	}
+	c.REF(0, 0)
+	if c.CanACT(Addr{Row: 0}, int64(c.T.RFC)-1, ActSingle) {
+		t.Error("ACT during tRFC must be illegal")
+	}
+	if !c.CanACT(Addr{Row: 0}, int64(c.T.RFC), ActSingle) {
+		t.Error("ACT at tRFC must be legal")
+	}
+	requireClean(t, k)
+}
+
+func TestRefreshRequiresClosedBanks(t *testing.T) {
+	c, _ := testChannel(t, 0)
+	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base())
+	if c.CanREF(0, 1000) {
+		t.Error("REF with an open row must be illegal")
+	}
+	c.PRE(Addr{Row: 0}, int64(c.T.RAS))
+	preAt := int64(c.T.RAS)
+	if c.CanREF(0, preAt+int64(c.T.RP)-1) {
+		t.Error("REF before tRP must be illegal")
+	}
+	if !c.CanREF(0, preAt+int64(c.T.RP)) {
+		t.Error("REF after tRP must be legal")
+	}
+}
+
+func TestCROWCommandBusOccupancy(t *testing.T) {
+	c, _ := testChannel(t, 8)
+	crow := c.T.CROW()
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActTwo, crow.TwoFull)
+	// The CROW activate holds the command bus for two cycles, so even a
+	// command to another bank cannot issue in the next cycle.
+	if c.CanACT(Addr{Bank: 1, Row: 0}, int64(c.T.RRD), ActSingle) {
+		// tRRD(16) > 2 so bus is free; use PRE path instead: nothing open.
+		// Check bus directly with a RD after opening: covered below.
+		_ = c
+	}
+	if c.cmdBusFree != 2 {
+		t.Errorf("cmdBusFree = %d, want 2 after ACT-t", c.cmdBusFree)
+	}
+	c2, _ := testChannel(t, 8)
+	c2.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, c2.T.Base())
+	if c2.cmdBusFree != 1 {
+		t.Errorf("cmdBusFree = %d, want 1 after plain ACT", c2.cmdBusFree)
+	}
+}
+
+func TestDataBusConflictAcrossBanks(t *testing.T) {
+	c, k := testChannel(t, 0)
+	base := c.T.Base()
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
+	c.ACT(Addr{Bank: 1, Row: 0}, int64(c.T.RRD), ActSingle, base)
+	// Read bank 0 once both banks have satisfied tRCD so that tCCD is the
+	// binding constraint for the second read.
+	rd1 := int64(c.T.RRD + c.T.RCD)
+	c.RD(Addr{Bank: 0, Row: 0}, rd1)
+	// A second RD must wait tCCD (which equals BL here, so the bus is
+	// contiguous with no overlap).
+	if c.CanRD(Addr{Bank: 1, Row: 0}, rd1+int64(c.T.CCD)-1) {
+		t.Error("tCCD must gate back-to-back reads")
+	}
+	if !c.CanRD(Addr{Bank: 1, Row: 0}, rd1+int64(c.T.CCD)) {
+		t.Error("RD at tCCD must be legal")
+	}
+	c.RD(Addr{Bank: 1, Row: 0}, rd1+int64(c.T.CCD))
+	requireClean(t, k)
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	c, k := testChannel(t, 0)
+	base := c.T.Base()
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
+	wrAt := int64(c.T.RCD)
+	c.WR(Addr{Bank: 0, Row: 0}, wrAt)
+	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
+	rdOK := dataEnd + int64(c.T.WTR)
+	if c.CanRD(Addr{Bank: 0, Row: 0}, rdOK-1) {
+		t.Error("tWTR must gate WR->RD")
+	}
+	if !c.CanRD(Addr{Bank: 0, Row: 0}, rdOK) {
+		t.Error("RD after tWTR must be legal")
+	}
+	c.RD(Addr{Bank: 0, Row: 0}, rdOK)
+	requireClean(t, k)
+}
+
+func TestStatsCounting(t *testing.T) {
+	c, _ := testChannel(t, 8)
+	crow := c.T.CROW()
+	c.ACT(Addr{Row: 0}, 0, ActCopy, crow.Copy)
+	c.PRE(Addr{Row: 0}, int64(crow.Copy.RAS))
+	next := int64(crow.Copy.RAS) + int64(c.T.RP)
+	c.ACT(Addr{Row: 0}, next, ActTwo, crow.TwoPartial)
+	c.RD(Addr{Row: 0}, next+int64(crow.TwoPartial.RCD))
+	if c.Stats.ACTCopy != 1 || c.Stats.ACTTwo != 1 || c.Stats.PRE != 1 || c.Stats.RD != 1 {
+		t.Errorf("stats mismatch: %+v", c.Stats)
+	}
+	if c.Stats.Activations() != 2 {
+		t.Errorf("Activations = %d, want 2", c.Stats.Activations())
+	}
+}
+
+func TestTickAccumulatesOpenBufferCycles(t *testing.T) {
+	c, _ := testChannel(t, 0)
+	c.Tick(10) // nothing open yet
+	c.ACT(Addr{Row: 0}, 10, ActSingle, c.T.Base())
+	c.Tick(20)
+	if c.Stats.OpenBufferCycles != 10 {
+		t.Errorf("OpenBufferCycles = %d, want 10", c.Stats.OpenBufferCycles)
+	}
+	if c.Stats.ActiveStandbyCycles != 10 {
+		t.Errorf("ActiveStandbyCycles = %d, want 10", c.Stats.ActiveStandbyCycles)
+	}
+}
+
+func TestIllegalCommandPanics(t *testing.T) {
+	c, _ := testChannel(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("RD to closed bank must panic")
+		}
+	}()
+	c.RD(Addr{Row: 0}, 0)
+}

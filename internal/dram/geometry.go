@@ -1,0 +1,151 @@
+// Package dram implements a cycle-accurate model of an LPDDR4-style DRAM
+// channel, extended with the CROW substrate's multiple-row-activation (MRA)
+// commands (ACT-c and ACT-t) and with SALP-MASA-style subarray-level
+// parallelism for the baseline comparisons.
+//
+// The device is a passive state machine: a memory controller queries command
+// legality with the Can* methods and advances state with the corresponding
+// issue methods. All times are in DRAM command-clock cycles (1600 MHz for
+// LPDDR4-3200, i.e. 0.625 ns per cycle).
+package dram
+
+// Geometry describes the physical organization of one DRAM channel.
+//
+// The default values follow Table 2 of the CROW paper: 1 rank, 8 banks,
+// 64 K rows per bank, 512 regular rows per subarray (so 128 subarrays per
+// bank), and an 8 KiB row buffer. Copy rows are the extra CROW rows added to
+// each subarray; they are addressed separately from regular rows and do not
+// count toward RowsPerBank.
+type Geometry struct {
+	Ranks           int // ranks per channel
+	Banks           int // banks per rank
+	RowsPerBank     int // regular rows per bank
+	RowsPerSubarray int // regular rows per subarray
+	CopyRows        int // CROW copy rows per subarray (0 = conventional DRAM)
+	RowBytes        int // row buffer size in bytes
+	LineBytes       int // cache line (column access) size in bytes
+}
+
+// Std returns the CROW paper's simulated geometry (Table 2) with the given
+// number of copy rows per subarray.
+func Std(copyRows int) Geometry {
+	return Geometry{
+		Ranks:           1,
+		Banks:           8,
+		RowsPerBank:     64 * 1024,
+		RowsPerSubarray: 512,
+		CopyRows:        copyRows,
+		RowBytes:        8 * 1024,
+		LineBytes:       64,
+	}
+}
+
+// SubarraysPerBank returns the number of subarrays in each bank.
+func (g Geometry) SubarraysPerBank() int { return g.RowsPerBank / g.RowsPerSubarray }
+
+// ColumnsPerRow returns the number of cache-line-sized columns in a row.
+func (g Geometry) ColumnsPerRow() int { return g.RowBytes / g.LineBytes }
+
+// ChannelBytes returns the regular-row storage capacity of one channel.
+func (g Geometry) ChannelBytes() int64 {
+	return int64(g.Ranks) * int64(g.Banks) * int64(g.RowsPerBank) * int64(g.RowBytes)
+}
+
+// Subarray returns the subarray index that contains the given regular row.
+func (g Geometry) Subarray(row int) int { return row / g.RowsPerSubarray }
+
+// RowInSubarray returns the index of the given regular row within its
+// subarray (0 .. RowsPerSubarray-1).
+func (g Geometry) RowInSubarray(row int) int { return row % g.RowsPerSubarray }
+
+// Addr identifies one cache-line-sized location in a multi-channel DRAM
+// system, after address decoding.
+type Addr struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int // regular row index within the bank
+	Col     int // cache-line column index within the row
+}
+
+// Subarray returns the subarray index of the address within its bank.
+func (a Addr) Subarray(g Geometry) int { return g.Subarray(a.Row) }
+
+// Mapper decodes flat physical addresses into DRAM coordinates.
+//
+// The bit layout, from least to most significant, is
+//
+//	[line offset | channel | column | bank | rank | row]
+//
+// which interleaves consecutive cache lines across channels and then across
+// the columns of one row (the "RoBaRaCoCh" mapping used as the Ramulator
+// default). Streaming accesses therefore hit the same row repeatedly while
+// spreading load over all channels.
+type Mapper struct {
+	Channels int
+	Geo      Geometry
+
+	chBits, colBits, bankBits, rankBits, rowBits, lineBits uint
+}
+
+// NewMapper builds a Mapper for a system of `channels` identical channels.
+// All geometry dimensions must be powers of two.
+func NewMapper(channels int, g Geometry) *Mapper {
+	m := &Mapper{Channels: channels, Geo: g}
+	m.lineBits = log2(g.LineBytes)
+	m.chBits = log2(channels)
+	m.colBits = log2(g.ColumnsPerRow())
+	m.bankBits = log2(g.Banks)
+	m.rankBits = log2(g.Ranks)
+	m.rowBits = log2(g.RowsPerBank)
+	return m
+}
+
+// Bits returns the total number of significant physical address bits.
+func (m *Mapper) Bits() uint {
+	return m.lineBits + m.chBits + m.colBits + m.bankBits + m.rankBits + m.rowBits
+}
+
+// Capacity returns the total regular-row byte capacity across all channels.
+func (m *Mapper) Capacity() int64 { return int64(m.Channels) * m.Geo.ChannelBytes() }
+
+// Decode splits a physical address into DRAM coordinates. Address bits above
+// Bits() are ignored, so callers may pass arbitrary 64-bit addresses.
+func (m *Mapper) Decode(phys uint64) Addr {
+	p := phys >> m.lineBits
+	var a Addr
+	a.Channel = int(p & mask(m.chBits))
+	p >>= m.chBits
+	a.Col = int(p & mask(m.colBits))
+	p >>= m.colBits
+	a.Bank = int(p & mask(m.bankBits))
+	p >>= m.bankBits
+	a.Rank = int(p & mask(m.rankBits))
+	p >>= m.rankBits
+	a.Row = int(p & mask(m.rowBits))
+	return a
+}
+
+// Encode is the inverse of Decode; it reconstructs the canonical physical
+// address of a coordinate (with a zero line offset).
+func (m *Mapper) Encode(a Addr) uint64 {
+	p := uint64(a.Row)
+	p = p<<m.rankBits | uint64(a.Rank)
+	p = p<<m.bankBits | uint64(a.Bank)
+	p = p<<m.colBits | uint64(a.Col)
+	p = p<<m.chBits | uint64(a.Channel)
+	return p << m.lineBits
+}
+
+func log2(v int) uint {
+	var b uint
+	for 1<<b < v {
+		b++
+	}
+	if 1<<b != v {
+		panic("dram: dimension is not a power of two")
+	}
+	return b
+}
+
+func mask(bits uint) uint64 { return 1<<bits - 1 }

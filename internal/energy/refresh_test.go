@@ -1,0 +1,43 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"crowdram/internal/dram"
+)
+
+// TestPerBankRefreshEnergyParity: a full round of eight REFpb commands
+// refreshes the same rows as one REFab and must cost the same total energy.
+func TestPerBankRefreshEnergyParity(t *testing.T) {
+	tm := dram.LPDDR4(dram.Density8Gb, 64, dram.Std(0))
+	p := DefaultParams()
+	ab := Compute(dram.Stats{REF: 10}, tm, 1e6, p)
+	pb := Compute(dram.Stats{REFpb: 80}, tm, 1e6, p)
+	if math.Abs(ab.Refresh-pb.Refresh)/ab.Refresh > 1e-9 {
+		t.Errorf("8 REFpb must equal 1 REFab in energy: %.3f vs %.3f", pb.Refresh, ab.Refresh)
+	}
+}
+
+// TestEarlyTerminationSavesActivationEnergy: an ACT-t with the
+// early-terminated restore window must consume less activation energy than
+// one held to the full window, and a single ACT with the default window must
+// sit between a short MRA window and a long one.
+func TestEarlyTerminationSavesActivationEnergy(t *testing.T) {
+	tm := dram.LPDDR4(dram.Density8Gb, 64, dram.Std(8))
+	crow := tm.CROW()
+	p := DefaultParams()
+	early := Compute(dram.Stats{ACTTwo: 100, ActRasMRA: 100 * int64(crow.TwoFull.RAS)}, tm, 1e6, p)
+	full := Compute(dram.Stats{ACTTwo: 100, ActRasMRA: 100 * int64(crow.TwoRestore.RAS)}, tm, 1e6, p)
+	if early.ActPre >= full.ActPre {
+		t.Errorf("early termination must save activation energy: %.2f vs %.2f", early.ActPre, full.ActPre)
+	}
+	// The MRA factor still applies: at the SAME restore window, ACT-t
+	// must cost 5.8% more than a plain ACT.
+	plain := Compute(dram.Stats{ACT: 100, ActRasSingle: 100 * int64(tm.RAS)}, tm, 1e6, p)
+	mra := Compute(dram.Stats{ACTTwo: 100, ActRasMRA: 100 * int64(tm.RAS)}, tm, 1e6, p)
+	ratio := mra.ActPre / plain.ActPre
+	if ratio < 1.04 || ratio > 1.07 {
+		t.Errorf("MRA overhead at equal windows = %.3f, want ~1.058", ratio)
+	}
+}

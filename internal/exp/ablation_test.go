@@ -1,0 +1,102 @@
+package exp
+
+import "testing"
+
+func TestHammerExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	// The hammer probe needs enough accesses per row to cross the
+	// detection threshold.
+	s := tinyScale()
+	s.Insts = 100_000
+	s.Warmup = 5_000
+	r := NewRunner(s)
+	res := HammerAttack(r)
+	if res.Remaps == 0 {
+		t.Error("the synthetic attack must trigger victim remaps")
+	}
+	if res.CopyOps < res.Remaps {
+		t.Error("every remap needs a protective copy")
+	}
+	if res.Table().Rows == nil {
+		t.Error("table must render")
+	}
+}
+
+func TestTableSharingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := NewRunner(tinyScale())
+	res := TableSharing(r)
+	if len(res.Points) != 4 {
+		t.Fatalf("want 4 sharing points")
+	}
+	// Storage must shrink monotonically with sharing.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].StorageKB >= res.Points[i-1].StorageKB {
+			t.Error("sharing must reduce table storage")
+		}
+	}
+	// Dedicated sets must be at least as fast as heavy sharing (allowing
+	// small-scale noise).
+	if res.Point(1).Speedup < res.Point(8).Speedup-0.02 {
+		t.Errorf("share=1 (%.3f) should not trail share=8 (%.3f) by much",
+			res.Point(1).Speedup, res.Point(8).Speedup)
+	}
+}
+
+func TestRestorePolicyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := NewRunner(tinyScale())
+	res := RestorePolicy(r)
+	if res.Table().Rows == nil {
+		t.Error("table must render")
+	}
+}
+
+func TestRefComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	s := tinyScale()
+	s.Insts = 120_000
+	s.Warmup = 12_000
+	s.SingleApps = []string{"mcf"}
+	r := NewRunner(s)
+	res := RefComparison(r)
+	cr := res.Row("crow-ref")
+	ra := res.Row("raidr")
+	if cr.Speedup <= 0 || ra.Speedup <= 0 {
+		t.Errorf("both refresh mechanisms must speed up at 64 Gbit: crow-ref %+.3f, raidr %+.3f",
+			cr.Speedup, ra.Speedup)
+	}
+	if ra.RowRefreshOps == 0 {
+		t.Error("RAIDR must perform row-granular weak refreshes")
+	}
+	if cr.RowRefreshOps != 0 {
+		t.Error("CROW-ref performs no row-granular refreshes")
+	}
+	if ra.CapacityOvh != 0 || cr.CapacityOvh == 0 {
+		t.Error("capacity costs: RAIDR none, CROW-ref copy rows")
+	}
+}
+
+func TestSchedulerSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := NewRunner(tinyScale())
+	res := SchedulerSensitivity(r)
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 sensitivity rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Speedup < -0.5 || row.Speedup > 0.5 {
+			t.Errorf("%s: implausible sensitivity %+.3f", row.Name, row.Speedup)
+		}
+	}
+}

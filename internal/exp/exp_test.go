@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyticTablesRender(t *testing.T) {
+	tables := []Table{Table1(), Fig5(), Fig6(), Fig7(), WeakProb(), Overhead()}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.Title)
+		}
+		s := tb.String()
+		if !strings.Contains(s, tb.Title) {
+			t.Errorf("rendering must include the title")
+		}
+		for _, row := range tb.Rows {
+			if len(row) > len(tb.Header) {
+				t.Errorf("%s: row wider than header", tb.Title)
+			}
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	tb := Table1()
+	s := tb.String()
+	// The model's ACT-t fully-restored tRCD must round to the paper's -38%.
+	if !strings.Contains(s, "-38.0%") {
+		t.Errorf("Table 1 must show the -38%% tRCD reduction:\n%s", s)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb := Fig5()
+	if len(tb.Rows) != 9 {
+		t.Fatalf("Figure 5 sweeps 1..9 rows, got %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "+0.0%" {
+		t.Errorf("row 1 must be baseline, got %s", tb.Rows[0][1])
+	}
+}
+
+// tinyScale keeps the simulation experiments fast enough for unit tests.
+func tinyScale() Scale {
+	return Scale{Insts: 20_000, Warmup: 2_000, MixesPerGroup: 1, Seed: 1,
+		SingleApps: []string{"mcf", "soplex"}}
+}
+
+func TestFig8SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := NewRunner(tinyScale())
+	res := Fig8(r)
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %v", res.Apps)
+	}
+	for _, app := range res.Apps {
+		for _, c := range res.Configs {
+			if hr := res.HitRate[c][app]; hr < 0 || hr > 1 {
+				t.Errorf("%s CROW-%d hit rate %f out of range", app, c, hr)
+			}
+		}
+		if res.Ideal[app] < -0.05 {
+			t.Errorf("%s: ideal CROW-cache should not slow down (%.3f)", app, res.Ideal[app])
+		}
+	}
+	// More copy rows never hurt the average hit rate.
+	if res.AvgHitRate[8] < res.AvgHitRate[1]-0.01 {
+		t.Errorf("hit rate must not degrade with more copy rows: %f vs %f",
+			res.AvgHitRate[8], res.AvgHitRate[1])
+	}
+	if res.Table().Rows == nil {
+		t.Error("table must render")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := NewRunner(tinyScale())
+	runs := 0
+	r.Progress = func(string) { runs++ }
+	Fig8(r)
+	first := runs
+	Fig8(r) // fully cached
+	if runs != first {
+		t.Errorf("second Fig8 must hit the cache entirely (%d -> %d runs)", first, runs)
+	}
+	if first == 0 {
+		t.Error("progress callback must fire on fresh runs")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	s := tinyScale()
+	s.SingleApps = []string{"mcf"}
+	// Refresh fires every ~31k CPU cycles; the run must span many
+	// refresh intervals for CROW-ref to show.
+	s.Insts = 120_000
+	s.Warmup = 12_000
+	r := NewRunner(s)
+	res := Fig13(r)
+	if len(res.Points) != 4 {
+		t.Fatalf("Figure 13 sweeps 4 densities")
+	}
+	// Refresh savings must grow with density.
+	lo, hi := res.Point(8), res.Point(64)
+	if hi.SingleSpeedup <= lo.SingleSpeedup {
+		t.Errorf("CROW-ref speedup must grow with density: %f vs %f",
+			hi.SingleSpeedup, lo.SingleSpeedup)
+	}
+	if hi.SingleEnergy >= lo.SingleEnergy {
+		t.Errorf("CROW-ref energy savings must grow with density")
+	}
+}

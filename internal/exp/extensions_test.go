@@ -1,0 +1,60 @@
+package exp
+
+import "testing"
+
+func TestLatencyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	s := tinyScale()
+	s.Insts = 60_000
+	s.Warmup = 6_000
+	r := NewRunner(s)
+	res := LatencyComparison(r)
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	crow := res.Row("crow-cache (CROW-8)")
+	cc := res.Row("chargecache")
+	ideal := res.Row("ideal crow-cache")
+	if crow.Speedup <= 0 {
+		t.Errorf("CROW-cache must speed up: %+.3f", crow.Speedup)
+	}
+	if ideal.Speedup < crow.Speedup-0.01 {
+		t.Errorf("ideal (%.3f) must bound real CROW (%.3f)", ideal.Speedup, crow.Speedup)
+	}
+	if cc.HitRate < 0 || cc.HitRate > 1 {
+		t.Errorf("chargecache hit rate %f out of range", cc.HitRate)
+	}
+	if res.Table().Rows == nil {
+		t.Error("table must render")
+	}
+}
+
+func TestRefreshModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	s := tinyScale()
+	s.Insts = 150_000
+	s.Warmup = 15_000
+	s.SingleApps = []string{"mcf"}
+	r := NewRunner(s)
+	res := RefreshModes(r)
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 modes, got %d", len(res.Rows))
+	}
+	// Naive per-bank refresh spreads blocking thinly across time, which
+	// can HURT low-MLP workloads whose serial request chains stall on any
+	// blocked bank (the observation motivating refresh-aware scheduling,
+	// DSARP [7]); all we require is a sane range.
+	if pb := res.Row("REFpb"); pb.Speedup < -0.5 || pb.Speedup > 0.3 {
+		t.Errorf("REFpb speedup out of plausible range: %+.3f", pb.Speedup)
+	}
+	if cr := res.Row("REFab + crow-ref"); cr.Speedup <= 0 {
+		t.Errorf("CROW-ref must speed up at 64 Gbit: %+.3f", cr.Speedup)
+	}
+	if res.Table().Rows == nil {
+		t.Error("table must render")
+	}
+}

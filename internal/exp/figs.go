@@ -1,0 +1,507 @@
+package exp
+
+import (
+	"fmt"
+
+	"crowdram/crow"
+	"crowdram/internal/metrics"
+	"crowdram/internal/trace"
+)
+
+// Fig8Result holds Figure 8's data: per-application single-core speedup and
+// CROW-table hit rate for CROW-1/8/256 and the ideal CROW-cache.
+type Fig8Result struct {
+	Configs []int // copy-row counts
+	Apps    []string
+	MPKI    map[string]float64
+	Speedup map[int]map[string]float64 // config -> app -> speedup
+	HitRate map[int]map[string]float64
+	Ideal   map[string]float64
+
+	AvgSpeedup map[int]float64
+	AvgHitRate map[int]float64
+	AvgIdeal   float64
+	// RestoreShare is the fraction of all activations that were
+	// eviction-driven full-restore operations, for CROW-1 (paper: 0.6 %).
+	RestoreShare float64
+}
+
+// Fig8 runs the single-core CROW-cache evaluation.
+func Fig8(r *Runner) Fig8Result {
+	configs := []int{1, 8, 256}
+	res := Fig8Result{
+		Configs: configs,
+		MPKI:    map[string]float64{},
+		Speedup: map[int]map[string]float64{},
+		HitRate: map[int]map[string]float64{},
+		Ideal:   map[string]float64{},
+	}
+	for _, c := range configs {
+		res.Speedup[c] = map[string]float64{}
+		res.HitRate[c] = map[string]float64{}
+	}
+	var restoreOps, acts int64
+	for _, app := range r.singleApps() {
+		res.Apps = append(res.Apps, app.Name)
+		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		res.MPKI[app.Name] = base.MPKI[0]
+		for _, c := range configs {
+			rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: c, Workloads: []string{app.Name}})
+			res.Speedup[c][app.Name] = metrics.Speedup(rep.IPC[0], base.IPC[0])
+			res.HitRate[c][app.Name] = rep.CROWTableHitRate
+			if c == 1 {
+				restoreOps += rep.RestoreOps
+				acts += rep.ACT + rep.ACTt + rep.ACTc
+			}
+		}
+		ideal := r.Run(crow.Options{Mechanism: crow.IdealCache, Workloads: []string{app.Name}})
+		res.Ideal[app.Name] = metrics.Speedup(ideal.IPC[0], base.IPC[0])
+	}
+	res.AvgSpeedup = map[int]float64{}
+	res.AvgHitRate = map[int]float64{}
+	for _, c := range configs {
+		var sp, hr []float64
+		for _, a := range res.Apps {
+			sp = append(sp, res.Speedup[c][a])
+			hr = append(hr, res.HitRate[c][a])
+		}
+		res.AvgSpeedup[c] = metrics.Mean(sp)
+		res.AvgHitRate[c] = metrics.Mean(hr)
+	}
+	var id []float64
+	for _, a := range res.Apps {
+		id = append(id, res.Ideal[a])
+	}
+	res.AvgIdeal = metrics.Mean(id)
+	if acts > 0 {
+		res.RestoreShare = float64(restoreOps) / float64(acts)
+	}
+	return res
+}
+
+// Table renders Figure 8.
+func (f Fig8Result) Table() Table {
+	t := Table{
+		Title:  "Figure 8: single-core CROW-cache speedup and CROW-table hit rate",
+		Header: []string{"app", "MPKI", "CROW-1", "CROW-8", "CROW-256", "Ideal", "hit-1", "hit-8", "hit-256"},
+		Notes: []string{
+			fmt.Sprintf("avg speedup CROW-1/8/256 = %s / %s / %s (paper: +5.5%% / +7.1%% / +7.8%%)",
+				pct(f.AvgSpeedup[1]), pct(f.AvgSpeedup[8]), pct(f.AvgSpeedup[256])),
+			fmt.Sprintf("avg hit rate CROW-1/8/256 = %s / %s / %s (paper: 68.8%% / 85.3%% / 91.1%%)",
+				pct2(f.AvgHitRate[1]), pct2(f.AvgHitRate[8]), pct2(f.AvgHitRate[256])),
+			fmt.Sprintf("CROW-1 restore ops = %s of activations (paper: 0.6%%)", pct2(f.RestoreShare)),
+		},
+	}
+	for _, a := range f.Apps {
+		t.Rows = append(t.Rows, []string{
+			a, fmt.Sprintf("%.1f", f.MPKI[a]),
+			pct(f.Speedup[1][a]), pct(f.Speedup[8][a]), pct(f.Speedup[256][a]), pct(f.Ideal[a]),
+			pct2(f.HitRate[1][a]), pct2(f.HitRate[8][a]), pct2(f.HitRate[256][a]),
+		})
+	}
+	return t
+}
+
+// GroupStat is one workload group's speedup distribution.
+type GroupStat struct{ Avg, Min, Max float64 }
+
+// Fig9Result holds Figure 9's data: four-core weighted speedup per workload
+// group for CROW-1, CROW-8 and the ideal CROW-cache.
+type Fig9Result struct {
+	Groups  []string
+	Configs []string // "CROW-1", "CROW-8", "Ideal"
+	Stats   map[string]map[string]GroupStat
+}
+
+// Fig9 runs the four-core CROW-cache evaluation.
+func Fig9(r *Runner) Fig9Result {
+	res := Fig9Result{
+		Configs: []string{"CROW-1", "CROW-8", "Ideal"},
+		Stats:   map[string]map[string]GroupStat{},
+	}
+	opts := map[string]crow.Options{
+		"CROW-1": {Mechanism: crow.Cache, CopyRows: 1},
+		"CROW-8": {Mechanism: crow.Cache, CopyRows: 8},
+		"Ideal":  {Mechanism: crow.IdealCache},
+	}
+	for gi, classes := range trace.Groups {
+		gname := trace.GroupName(classes)
+		res.Groups = append(res.Groups, gname)
+		mixes := trace.MakeMixes(classes, r.Scale.MixesPerGroup, r.Scale.Seed+int64(gi))
+		sp := map[string][]float64{}
+		for _, mix := range mixes {
+			apps := trace.Names(mix.Apps)
+			env := crow.Options{}
+			baseRep := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
+			wsBase := r.ws(baseRep, apps, env)
+			for name, o := range opts {
+				o.Workloads = apps
+				rep := r.Run(o)
+				sp[name] = append(sp[name], metrics.Speedup(r.ws(rep, apps, env), wsBase))
+			}
+		}
+		res.Stats[gname] = map[string]GroupStat{}
+		for name, vals := range sp {
+			min, max := metrics.MinMax(vals)
+			res.Stats[gname][name] = GroupStat{Avg: metrics.Mean(vals), Min: min, Max: max}
+		}
+	}
+	return res
+}
+
+// Avg returns the mean speedup of a config across all groups.
+func (f Fig9Result) Avg(config string) float64 {
+	var v []float64
+	for _, g := range f.Groups {
+		v = append(v, f.Stats[g][config].Avg)
+	}
+	return metrics.Mean(v)
+}
+
+// Table renders Figure 9.
+func (f Fig9Result) Table() Table {
+	t := Table{
+		Title:  "Figure 9: four-core weighted speedup by workload group",
+		Header: []string{"group", "CROW-1", "CROW-8", "Ideal", "CROW-8 min..max"},
+		Notes: []string{
+			fmt.Sprintf("avg CROW-8 = %s; paper: +7.4%% for HHHH, +0.4%% for LLLL", pct(f.Avg("CROW-8"))),
+		},
+	}
+	for _, g := range f.Groups {
+		s := f.Stats[g]
+		t.Rows = append(t.Rows, []string{
+			g, pct(s["CROW-1"].Avg), pct(s["CROW-8"].Avg), pct(s["Ideal"].Avg),
+			fmt.Sprintf("%s..%s", pct(s["CROW-8"].Min), pct(s["CROW-8"].Max)),
+		})
+	}
+	return t
+}
+
+// Fig10Result holds Figure 10's data: normalized DRAM energy with
+// CROW-cache for single-core and four-core workloads.
+type Fig10Result struct {
+	SingleCore float64 // CROW-8 energy / baseline energy, averaged
+	FourCore   float64
+}
+
+// Fig10 runs the CROW-cache energy evaluation.
+func Fig10(r *Runner) Fig10Result {
+	var res Fig10Result
+	var single []float64
+	for _, app := range r.singleApps() {
+		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: []string{app.Name}})
+		single = append(single, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+	}
+	res.SingleCore = metrics.Mean(single)
+
+	var four []float64
+	for gi, classes := range trace.Groups {
+		if trace.GroupName(classes) == "LLLL" {
+			continue // negligible DRAM activity
+		}
+		mixes := trace.MakeMixes(classes, r.Scale.MixesPerGroup, r.Scale.Seed+int64(gi))
+		for _, mix := range mixes {
+			apps := trace.Names(mix.Apps)
+			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
+			rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: apps})
+			four = append(four, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+		}
+	}
+	res.FourCore = metrics.Mean(four)
+	return res
+}
+
+// Table renders Figure 10.
+func (f Fig10Result) Table() Table {
+	return Table{
+		Title:  "Figure 10: DRAM energy with CROW-cache (normalized to baseline)",
+		Header: []string{"workloads", "normalized energy", "paper"},
+		Rows: [][]string{
+			{"single-core", fmt.Sprintf("%.3f", f.SingleCore), "0.918 (-8.2%)"},
+			{"four-core", fmt.Sprintf("%.3f", f.FourCore), "0.931 (-6.9%)"},
+		},
+	}
+}
+
+// Fig11Row is one in-DRAM caching design point.
+type Fig11Row struct {
+	Name        string
+	Speedup     float64 // avg single-core speedup vs baseline
+	EnergyRatio float64
+	AreaOvh     float64
+}
+
+// Fig11Result holds Figure 11's comparison of CROW-cache with TL-DRAM and
+// SALP.
+type Fig11Result struct{ Rows []Fig11Row }
+
+// Fig11 runs the baseline-comparison evaluation.
+func Fig11(r *Runner) Fig11Result {
+	configs := []struct {
+		name string
+		o    crow.Options
+	}{
+		{"CROW-1", crow.Options{Mechanism: crow.Cache, CopyRows: 1}},
+		{"CROW-8", crow.Options{Mechanism: crow.Cache, CopyRows: 8}},
+		{"TL-DRAM-1", crow.Options{Mechanism: crow.TLDRAM, TLDRAMNearRows: 1}},
+		{"TL-DRAM-8", crow.Options{Mechanism: crow.TLDRAM, TLDRAMNearRows: 8}},
+		{"SALP-128", crow.Options{Mechanism: crow.SALP, SALPSubarrays: 128}},
+		{"SALP-128-O", crow.Options{Mechanism: crow.SALP, SALPSubarrays: 128, SALPOpenPage: true}},
+		{"SALP-256-O", crow.Options{Mechanism: crow.SALP, SALPSubarrays: 256, SALPOpenPage: true}},
+	}
+	var res Fig11Result
+	apps := r.singleApps()
+	for _, cfg := range configs {
+		var sp, en []float64
+		var area float64
+		for _, app := range apps {
+			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			o := cfg.o
+			o.Workloads = []string{app.Name}
+			rep := r.Run(o)
+			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
+			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+			area = rep.ChipAreaOverhead
+		}
+		res.Rows = append(res.Rows, Fig11Row{
+			Name: cfg.name, Speedup: metrics.Mean(sp),
+			EnergyRatio: metrics.Mean(en), AreaOvh: area,
+		})
+	}
+	return res
+}
+
+// Row returns the named design point.
+func (f Fig11Result) Row(name string) Fig11Row {
+	for _, r := range f.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	return Fig11Row{}
+}
+
+// Table renders Figure 11.
+func (f Fig11Result) Table() Table {
+	t := Table{
+		Title:  "Figure 11: CROW-cache vs TL-DRAM vs SALP (single-core)",
+		Header: []string{"config", "speedup", "energy ratio", "chip area ovh"},
+		Notes: []string{
+			"paper: CROW-8 +7.1% / -8.2% energy / 0.48% area;",
+			"TL-DRAM-8 +13.8% speedup but 6.9% area; SALP-256-O +58.4% energy, 28.9% area",
+		},
+	}
+	for _, r := range f.Rows {
+		t.Rows = append(t.Rows, []string{r.Name, pct(r.Speedup), fmt.Sprintf("%.3f", r.EnergyRatio), pct2(r.AreaOvh)})
+	}
+	return t
+}
+
+// Fig12Row is one application's prefetcher interaction data.
+type Fig12Row struct {
+	App              string
+	Pref, CROW, Both float64 // speedup vs no-prefetch baseline
+}
+
+// Fig12Result holds Figure 12's data.
+type Fig12Result struct {
+	Rows []Fig12Row
+	// AvgGain is the average speedup of prefetcher+CROW-cache over the
+	// prefetcher alone (paper: +5.7 %).
+	AvgGain float64
+}
+
+// Fig12 runs the prefetcher-interaction evaluation on a representative
+// sample of workloads (as the paper does).
+func Fig12(r *Runner) Fig12Result {
+	apps := r.Scale.SingleApps
+	if apps == nil {
+		apps = []string{"libq", "lbm", "mcf", "soplex", "omnetpp", "stream-copy"}
+	}
+	var res Fig12Result
+	var gains []float64
+	for _, app := range apps {
+		w := []string{app}
+		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w})
+		pref := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w, Prefetch: true})
+		cache := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w})
+		both := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w, Prefetch: true})
+		row := Fig12Row{
+			App:  app,
+			Pref: metrics.Speedup(pref.IPC[0], base.IPC[0]),
+			CROW: metrics.Speedup(cache.IPC[0], base.IPC[0]),
+			Both: metrics.Speedup(both.IPC[0], base.IPC[0]),
+		}
+		res.Rows = append(res.Rows, row)
+		gains = append(gains, metrics.Speedup(both.IPC[0], pref.IPC[0]))
+	}
+	res.AvgGain = metrics.Mean(gains)
+	return res
+}
+
+// Table renders Figure 12.
+func (f Fig12Result) Table() Table {
+	t := Table{
+		Title:  "Figure 12: CROW-cache and prefetching (speedup vs no-prefetch baseline)",
+		Header: []string{"app", "prefetcher", "CROW-cache", "prefetcher+CROW"},
+		Notes:  []string{fmt.Sprintf("CROW-cache adds %s on top of the prefetcher (paper: +5.7%%)", pct(f.AvgGain))},
+	}
+	for _, r := range f.Rows {
+		t.Rows = append(t.Rows, []string{r.App, pct(r.Pref), pct(r.CROW), pct(r.Both)})
+	}
+	return t
+}
+
+// Fig13Point is one density's CROW-ref result.
+type Fig13Point struct {
+	DensityGbit   int
+	SingleSpeedup float64
+	SingleEnergy  float64 // normalized
+	FourSpeedup   float64
+	FourEnergy    float64
+}
+
+// Fig13Result holds Figure 13's data.
+type Fig13Result struct{ Points []Fig13Point }
+
+// Fig13 runs the CROW-ref evaluation across chip densities.
+func Fig13(r *Runner) Fig13Result {
+	var res Fig13Result
+	hhhh := trace.MakeMixes([]trace.Class{trace.High, trace.High, trace.High, trace.High},
+		r.Scale.MixesPerGroup, r.Scale.Seed+4)
+	for _, d := range []int{8, 16, 32, 64} {
+		var p Fig13Point
+		p.DensityGbit = d
+		env := crow.Options{DensityGbit: d}
+
+		var sp, en []float64
+		for _, app := range r.singleApps() {
+			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: []string{app.Name}})
+			rep := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: []string{app.Name}})
+			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
+			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+		}
+		p.SingleSpeedup = metrics.Mean(sp)
+		p.SingleEnergy = metrics.Mean(en)
+
+		var fsp, fen []float64
+		for _, mix := range hhhh {
+			apps := trace.Names(mix.Apps)
+			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: apps})
+			rep := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: apps})
+			wsBase := r.ws(base, apps, env)
+			fsp = append(fsp, metrics.Speedup(r.ws(rep, apps, env), wsBase))
+			fen = append(fen, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+		}
+		p.FourSpeedup = metrics.Mean(fsp)
+		p.FourEnergy = metrics.Mean(fen)
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// Point returns the result at the given density.
+func (f Fig13Result) Point(densityGbit int) Fig13Point {
+	for _, p := range f.Points {
+		if p.DensityGbit == densityGbit {
+			return p
+		}
+	}
+	return Fig13Point{}
+}
+
+// Table renders Figure 13.
+func (f Fig13Result) Table() Table {
+	t := Table{
+		Title:  "Figure 13: CROW-ref speedup and DRAM energy vs chip density",
+		Header: []string{"density", "1-core speedup", "1-core energy", "4-core (HHHH) speedup", "4-core energy"},
+		Notes:  []string{"paper (64 Gbit): +7.1%/-17.2% single-core, +11.9%/-7.8% four-core"},
+	}
+	for _, p := range f.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d Gbit", p.DensityGbit),
+			pct(p.SingleSpeedup), fmt.Sprintf("%.3f", p.SingleEnergy),
+			pct(p.FourSpeedup), fmt.Sprintf("%.3f", p.FourEnergy),
+		})
+	}
+	return t
+}
+
+// Fig14Point is one (LLC size, mechanism) cell.
+type Fig14Point struct {
+	Speedup float64
+	Energy  float64 // normalized to the baseline at the same LLC size
+}
+
+// Fig14Result holds Figure 14's data: the combined mechanisms across LLC
+// capacities, versus the ideal.
+type Fig14Result struct {
+	LLCMiB []int
+	Mechs  []string
+	Cells  map[int]map[string]Fig14Point
+}
+
+// Fig14 runs the combined CROW-cache + CROW-ref evaluation across LLC
+// capacities on four-core mixes at 64 Gbit density.
+func Fig14(r *Runner) Fig14Result {
+	res := Fig14Result{
+		LLCMiB: []int{1, 8, 32},
+		Mechs:  []string{"cache", "ref", "cache+ref", "ideal"},
+		Cells:  map[int]map[string]Fig14Point{},
+	}
+	opts := map[string]crow.Options{
+		"cache":     {Mechanism: crow.Cache},
+		"ref":       {Mechanism: crow.Ref},
+		"cache+ref": {Mechanism: crow.CacheRef},
+		"ideal":     {Mechanism: crow.IdealNoRefresh},
+	}
+	mixes := trace.MakeMixes([]trace.Class{trace.High, trace.High, trace.High, trace.High},
+		r.Scale.MixesPerGroup, r.Scale.Seed+4)
+	mixes = append(mixes, trace.MakeMixes([]trace.Class{trace.Medium, trace.Medium, trace.High, trace.High},
+		r.Scale.MixesPerGroup, r.Scale.Seed+7)...)
+	for _, mib := range res.LLCMiB {
+		llc := int64(mib) << 20
+		env := crow.Options{DensityGbit: 64, LLCBytes: llc}
+		sp := map[string][]float64{}
+		en := map[string][]float64{}
+		for _, mix := range mixes {
+			apps := trace.Names(mix.Apps)
+			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, LLCBytes: llc, Workloads: apps})
+			wsBase := r.ws(base, apps, env)
+			for name, o := range opts {
+				o.DensityGbit = 64
+				o.LLCBytes = llc
+				o.Workloads = apps
+				rep := r.Run(o)
+				sp[name] = append(sp[name], metrics.Speedup(r.ws(rep, apps, env), wsBase))
+				en[name] = append(en[name], rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+			}
+		}
+		res.Cells[mib] = map[string]Fig14Point{}
+		for _, m := range res.Mechs {
+			res.Cells[mib][m] = Fig14Point{Speedup: metrics.Mean(sp[m]), Energy: metrics.Mean(en[m])}
+		}
+	}
+	return res
+}
+
+// Table renders Figure 14.
+func (f Fig14Result) Table() Table {
+	t := Table{
+		Title:  "Figure 14: CROW-(cache+ref) vs LLC capacity (four-core, 64 Gbit)",
+		Header: []string{"LLC", "cache", "ref", "cache+ref", "ideal", "energy cache+ref", "energy ideal"},
+		Notes:  []string{"paper (8 MiB LLC): cache+ref +20.0% speedup, -22.3% energy; combined > either alone"},
+	}
+	for _, mib := range f.LLCMiB {
+		c := f.Cells[mib]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d MiB", mib),
+			pct(c["cache"].Speedup), pct(c["ref"].Speedup),
+			pct(c["cache+ref"].Speedup), pct(c["ideal"].Speedup),
+			fmt.Sprintf("%.3f", c["cache+ref"].Energy),
+			fmt.Sprintf("%.3f", c["ideal"].Energy),
+		})
+	}
+	return t
+}

@@ -1,0 +1,181 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (see the per-experiment index in DESIGN.md). Analytic experiments
+// (Table 1, Figures 5–7, the Section 4.2.1/6 overhead numbers) come from the
+// circuit and retention models; simulation experiments (Figures 8–14) run
+// the full system at a configurable scale.
+//
+// Results are returned as typed values plus a renderable Table, and all
+// simulation runs are memoized per configuration so that experiments sharing
+// runs (e.g. Figures 8 and 10) pay for them once.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crowdram/crow"
+	"crowdram/internal/metrics"
+	"crowdram/internal/trace"
+)
+
+// Scale controls simulation effort. The paper simulates 200 M instructions
+// per core over 20 mixes per group; the defaults here are sized to finish in
+// minutes while preserving each figure's shape.
+type Scale struct {
+	Insts         int64
+	Warmup        int64
+	MixesPerGroup int
+	// SingleApps optionally restricts single-core experiments to a
+	// subset of the suite (nil = every app).
+	SingleApps []string
+	Seed       int64
+}
+
+// DefaultScale is the crowbench default.
+func DefaultScale() Scale {
+	return Scale{Insts: 300_000, Warmup: 30_000, MixesPerGroup: 3, Seed: 1}
+}
+
+// QuickScale is the scale used by the repository's testing.B benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Insts: 60_000, Warmup: 6_000, MixesPerGroup: 1, Seed: 1,
+		SingleApps: []string{"mcf", "lbm", "soplex", "omnetpp", "zeusmp", "gcc"},
+	}
+}
+
+// Table is a renderable result grid.
+type Table struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%+.1f%%", 100*v) }
+func pct2(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Runner executes and memoizes simulation runs.
+type Runner struct {
+	Scale Scale
+	cache map[string]crow.Report
+	// Progress, when non-nil, receives a line per fresh simulation run.
+	Progress func(string)
+}
+
+// NewRunner builds a Runner at the given scale.
+func NewRunner(s Scale) *Runner {
+	return &Runner{Scale: s, cache: make(map[string]crow.Report)}
+}
+
+func optKey(o crow.Options) string {
+	return fmt.Sprintf("%s|%v|cr%d|d%d|rw%.0f|wk%d|llc%d|pf%v|tl%d|sa%d-%v|ht%d|sh%d|fr%v|sc%v|er%v|cap%d|to%.0f|pb%v|pp%d|i%d|w%d|s%d",
+		o.Mechanism, o.Workloads, o.CopyRows, o.DensityGbit, o.RefreshWindowMS,
+		o.WeakRowsPerSubarray, o.LLCBytes, o.Prefetch, o.TLDRAMNearRows,
+		o.SALPSubarrays, o.SALPOpenPage, o.HammerThreshold,
+		o.TableShareGroup, o.FullRestore, o.Scrub, o.EagerRestore, o.ControllerCap, o.RowTimeoutNs, o.PerBankRefresh, o.RefreshPostpone,
+		o.MeasureInsts, o.WarmupInsts, o.Seed)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(o crow.Options) crow.Report {
+	o.MeasureInsts = r.Scale.Insts
+	o.WarmupInsts = r.Scale.Warmup
+	if o.Seed == 0 {
+		o.Seed = r.Scale.Seed
+	}
+	key := optKey(o)
+	if rep, ok := r.cache[key]; ok {
+		return rep
+	}
+	rep, err := crow.Run(o)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %s on %v", o.Mechanism, o.Workloads))
+	}
+	r.cache[key] = rep
+	return rep
+}
+
+// singleApps returns the single-core experiment suite: every non-synthetic
+// app (or the configured subset), sorted by descending memory intensity.
+func (r *Runner) singleApps() []trace.App {
+	var apps []trace.App
+	if r.Scale.SingleApps != nil {
+		for _, name := range r.Scale.SingleApps {
+			a, err := trace.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			apps = append(apps, a)
+		}
+		return apps
+	}
+	for _, a := range trace.Apps {
+		if !a.Synthetic {
+			apps = append(apps, a)
+		}
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		if apps[i].Class != apps[j].Class {
+			return apps[i].Class > apps[j].Class
+		}
+		return apps[i].Name < apps[j].Name
+	})
+	return apps
+}
+
+// aloneIPC returns the app's baseline alone-run IPC under the given
+// environment options (LLC size, density, window), memoized.
+func (r *Runner) aloneIPC(app string, env crow.Options) float64 {
+	env.Mechanism = crow.Baseline
+	env.Workloads = []string{app}
+	return r.Run(env).IPC[0]
+}
+
+// ws computes the weighted speedup of a multi-core report against baseline
+// alone runs under env.
+func (r *Runner) ws(rep crow.Report, apps []string, env crow.Options) float64 {
+	alone := make([]float64, len(apps))
+	for i, a := range apps {
+		alone[i] = r.aloneIPC(a, env)
+	}
+	return metrics.WeightedSpeedup(rep.IPC, alone)
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates values into logarithmic buckets (powers of two) for
+// cheap latency-distribution tracking, and reports percentiles.
+type Histogram struct {
+	buckets map[int]int64 // floor(log2(v)) -> count
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one value (values < 1 land in bucket 0).
+func (h *Histogram) Add(v float64) {
+	b := 0
+	if v >= 1 {
+		b = int(math.Floor(math.Log2(v)))
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the extreme recorded values (0 if empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100):
+// the upper edge of the bucket containing it. Bucket granularity is a factor
+// of two, which suffices for tail-latency shape comparisons.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	threshold := int64(math.Ceil(p / 100 * float64(h.count)))
+	var seen int64
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= threshold {
+			upper := math.Pow(2, float64(k+1))
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for k, c := range o.buckets {
+		h.buckets[k] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50<=%.0f p90<=%.0f p99<=%.0f max=%.0f",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max)
+	return b.String()
+}

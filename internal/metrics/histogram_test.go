@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3.75 {
+		t.Errorf("Mean = %f, want 3.75", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 8 {
+		t.Errorf("Min/Max = %f/%f", h.Min(), h.Max())
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := rng.ExpFloat64() * 100
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	_ = vals
+	for _, p := range []float64{50, 90, 99} {
+		got := h.Percentile(p)
+		if got <= 0 || got > h.Max() {
+			t.Errorf("p%.0f = %f out of range", p, got)
+		}
+	}
+	if h.Percentile(50) > h.Percentile(99) {
+		t.Error("percentiles must be monotone")
+	}
+}
+
+// TestPercentileUpperBound: the bucketed percentile never underestimates by
+// more than the bucket width (factor of two) — property test.
+func TestPercentileUpperBound(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(float64(v) + 1)
+		}
+		p50 := h.Percentile(50)
+		// At least half the values must be <= p50 (upper-bound property).
+		var le int
+		for _, v := range raw {
+			if float64(v)+1 <= p50 {
+				le++
+			}
+		}
+		return le*2 >= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "empty" {
+		t.Error("empty render")
+	}
+	h.Add(10)
+	if h.String() == "" || h.String() == "empty" {
+		t.Error("non-empty render")
+	}
+}

@@ -1,0 +1,102 @@
+// Package prefetch implements a stride prefetcher in the spirit of the
+// reference prediction table (RPT) design the paper evaluates with
+// CROW-cache in Section 8.1.5. Lacking program counters in the trace
+// format, the table is indexed by (core, physical page) and trains on the
+// LLC demand-miss stream; a stable intra-page stride triggers prefetches of
+// the next lines within the page.
+package prefetch
+
+// Config parameterizes the prefetcher.
+type Config struct {
+	TableEntries int // reference prediction table size per core
+	Degree       int // prefetches issued per trigger
+}
+
+// DefaultConfig matches a small RPT: 64 entries per core, degree 2.
+func DefaultConfig() Config { return Config{TableEntries: 64, Degree: 2} }
+
+type entry struct {
+	page      uint64
+	lastLine  int64
+	stride    int64
+	confident bool
+	valid     bool
+	lastUse   int64
+}
+
+// Prefetcher holds per-core reference prediction tables.
+type Prefetcher struct {
+	Cfg    Config
+	tables [][]entry
+	clock  int64
+
+	Trained int64 // accesses that updated an existing entry
+	Fired   int64 // prefetch addresses produced
+}
+
+// New builds tables for `cores` cores.
+func New(cfg Config, cores int) *Prefetcher {
+	p := &Prefetcher{Cfg: cfg, tables: make([][]entry, cores)}
+	for i := range p.tables {
+		p.tables[i] = make([]entry, cfg.TableEntries)
+	}
+	return p
+}
+
+const (
+	lineBits = 6
+	pageBits = 12
+)
+
+// OnMiss trains on a demand miss and returns the physical addresses to
+// prefetch (possibly none). Predictions never cross the 4 KiB page, since
+// frame randomization destroys inter-page contiguity.
+func (p *Prefetcher) OnMiss(core int, physAddr uint64) []uint64 {
+	p.clock++
+	page := physAddr >> pageBits
+	lineInPage := int64(physAddr>>lineBits) & ((1 << (pageBits - lineBits)) - 1)
+
+	t := p.tables[core]
+	var e *entry
+	victim := 0
+	for i := range t {
+		if t[i].valid && t[i].page == page {
+			e = &t[i]
+			break
+		}
+		if !t[i].valid || t[i].lastUse < t[victim].lastUse {
+			victim = i
+		}
+	}
+	if e == nil {
+		t[victim] = entry{page: page, lastLine: lineInPage, valid: true, lastUse: p.clock}
+		return nil
+	}
+	p.Trained++
+	e.lastUse = p.clock
+	stride := lineInPage - e.lastLine
+	if stride == 0 {
+		return nil
+	}
+	if e.stride == stride {
+		e.confident = true
+	} else {
+		e.confident = false
+		e.stride = stride
+		e.lastLine = lineInPage
+		return nil
+	}
+	e.lastLine = lineInPage
+
+	var out []uint64
+	base := physAddr &^ ((1 << lineBits) - 1)
+	for k := 1; k <= p.Cfg.Degree; k++ {
+		next := lineInPage + stride*int64(k)
+		if next < 0 || next >= 1<<(pageBits-lineBits) {
+			break
+		}
+		out = append(out, base+uint64(stride*int64(k))<<lineBits)
+	}
+	p.Fired += int64(len(out))
+	return out
+}

@@ -1,0 +1,94 @@
+package prefetch
+
+import "testing"
+
+func TestStrideDetection(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	base := uint64(0x10000)
+	// First two misses train; the third (confirming the stride) fires.
+	if out := p.OnMiss(0, base); out != nil {
+		t.Errorf("first touch must not prefetch: %v", out)
+	}
+	if out := p.OnMiss(0, base+64); out != nil {
+		t.Errorf("stride not yet confident: %v", out)
+	}
+	out := p.OnMiss(0, base+128)
+	if len(out) != 2 {
+		t.Fatalf("confident stride must fire degree-2: %v", out)
+	}
+	if out[0] != base+192 || out[1] != base+256 {
+		t.Errorf("predictions = %#x,%#x, want %#x,%#x", out[0], out[1], base+192, base+256)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	base := uint64(0x20000 + 512)
+	p.OnMiss(0, base)
+	p.OnMiss(0, base-64)
+	out := p.OnMiss(0, base-128)
+	if len(out) == 0 || out[0] != base-192 {
+		t.Errorf("negative strides must predict downwards: %v", out)
+	}
+}
+
+func TestNoCrossPagePrediction(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	// Train at the end of a page: the trigger lands on line 62 of 64,
+	// leaving exactly one in-page line to prefetch.
+	base := uint64(0x30000) + 4096 - 256
+	p.OnMiss(0, base)
+	p.OnMiss(0, base+64)
+	out := p.OnMiss(0, base+128)
+	for _, a := range out {
+		if a>>12 != base>>12 {
+			t.Errorf("prediction %#x crosses the page of %#x", a, base)
+		}
+	}
+	if len(out) != 1 {
+		t.Errorf("only one in-page line remains, got %d predictions", len(out))
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	base := uint64(0x40000)
+	p.OnMiss(0, base)
+	p.OnMiss(0, base+64)
+	p.OnMiss(0, base+128) // fires
+	if out := p.OnMiss(0, base+128+256); out != nil {
+		t.Errorf("changed stride must retrain, got %v", out)
+	}
+}
+
+func TestPerCoreIsolation(t *testing.T) {
+	p := New(DefaultConfig(), 2)
+	base := uint64(0x50000)
+	p.OnMiss(0, base)
+	p.OnMiss(0, base+64)
+	// Core 1's accesses to the same page must not inherit core 0's
+	// training.
+	if out := p.OnMiss(1, base+128); out != nil {
+		t.Errorf("core 1 must have its own table: %v", out)
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	cfg := Config{TableEntries: 2, Degree: 1}
+	p := New(cfg, 1)
+	p.OnMiss(0, 0x1000_0000)
+	p.OnMiss(0, 0x2000_0000)
+	p.OnMiss(0, 0x3000_0000) // evicts the LRU entry (page 1)
+	// Returning to page 1: entry is gone, so retrain from scratch.
+	if out := p.OnMiss(0, 0x1000_0000+64); out != nil {
+		t.Errorf("evicted entry must retrain: %v", out)
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	p.OnMiss(0, 0x6000)
+	if out := p.OnMiss(0, 0x6000); out != nil {
+		t.Errorf("repeated same-line misses must not fire: %v", out)
+	}
+}

@@ -1,0 +1,79 @@
+package retention
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The on-disk profile format is one weak row per line:
+//
+//	<channel> <rank> <bank> <subarray> <row>
+//
+// with '#' comments — the natural output of a retention-time profiling pass
+// (REAPER-style [87]) that the memory controller loads at boot.
+
+// WriteProfile serializes a profile.
+func WriteProfile(w io.Writer, p *Profile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# retention profile: channel rank bank subarray row")
+	for ch, chw := range p.Weak {
+		for rk, rkw := range chw {
+			for bk, bkw := range rkw {
+				for sa, weak := range bkw {
+					for _, row := range weak {
+						if _, err := fmt.Fprintf(bw, "%d %d %d %d %d\n", ch, rk, bk, sa, row); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProfile parses a profile for the given geometry, validating every
+// coordinate.
+func ReadProfile(r io.Reader, g Geometry) (*Profile, error) {
+	p := emptyProfile(g)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ch, rk, bk, sa, row int
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %d", &ch, &rk, &bk, &sa, &row); err != nil {
+			return nil, fmt.Errorf("retention: line %d: %q: %v", line, text, err)
+		}
+		if ch < 0 || ch >= g.Channels || rk < 0 || rk >= g.Ranks ||
+			bk < 0 || bk >= g.Banks || sa < 0 || sa >= g.Subarrays ||
+			row < 0 || row >= g.RowsPerSubarray {
+			return nil, fmt.Errorf("retention: line %d: coordinate out of range: %q", line, text)
+		}
+		p.Add(VRTCell{Channel: ch, Rank: rk, Bank: bk, Subarray: sa, Row: row})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func emptyProfile(g Geometry) *Profile {
+	p := &Profile{}
+	p.Weak = make([][][][][]int, g.Channels)
+	for c := range p.Weak {
+		p.Weak[c] = make([][][][]int, g.Ranks)
+		for r := range p.Weak[c] {
+			p.Weak[c][r] = make([][][]int, g.Banks)
+			for b := range p.Weak[c][r] {
+				p.Weak[c][r][b] = make([][]int, g.Subarrays)
+			}
+		}
+	}
+	return p
+}

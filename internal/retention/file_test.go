@@ -1,0 +1,69 @@
+package retention
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	g := smallGeo()
+	orig := SampleProfile(g, 0.05, 42)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWeak() != orig.TotalWeak() {
+		t.Fatalf("round trip lost rows: %d vs %d", got.TotalWeak(), orig.TotalWeak())
+	}
+	for c := range orig.Weak {
+		for r := range orig.Weak[c] {
+			for b := range orig.Weak[c][r] {
+				for s := range orig.Weak[c][r][b] {
+					a, z := orig.Weak[c][r][b][s], got.Weak[c][r][b][s]
+					if len(a) != len(z) {
+						t.Fatalf("subarray %d/%d/%d/%d differs", c, r, b, s)
+					}
+					seen := map[int]bool{}
+					for _, row := range a {
+						seen[row] = true
+					}
+					for _, row := range z {
+						if !seen[row] {
+							t.Fatalf("row %d not in original", row)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReadProfileValidation(t *testing.T) {
+	g := smallGeo()
+	cases := []string{
+		"not numbers at all",
+		"0 0 0 0 9999", // row out of range
+		"99 0 0 0 1",   // channel out of range
+		"0 0 99 0 1",   // bank out of range
+		"-1 0 0 0 1",   // negative
+	}
+	for _, in := range cases {
+		if _, err := ReadProfile(strings.NewReader(in), g); err == nil {
+			t.Errorf("ReadProfile(%q) must fail", in)
+		}
+	}
+	// Comments and blanks are fine; duplicates are deduplicated.
+	in := "# header\n\n0 0 0 0 5\n0 0 0 0 5\n"
+	p, err := ReadProfile(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalWeak() != 1 {
+		t.Errorf("TotalWeak = %d, want 1 (dedup)", p.TotalWeak())
+	}
+}

@@ -1,0 +1,237 @@
+// Package retention models DRAM data-retention behaviour: the statistics of
+// weak cells (Section 4.2.1, Equations 1 and 2), Monte-Carlo sampling of
+// weak rows per subarray, variable retention time (VRT) cells, and a
+// retention-time profiler in the style the paper relies on (REAPER [87]).
+package retention
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DefaultBER is the bit error rate the paper calculates for a 256 ms refresh
+// interval from Liu et al.'s measurement of ~1000 weak cells in a 32 GiB
+// module (Section 4.2.1).
+const DefaultBER = 4e-9
+
+// PWeakRow returns the probability that a row of cellsPerRow cells contains
+// at least one weak cell (Equation 1):
+//
+//	P = 1 − (1 − BER)^cells
+func PWeakRow(ber float64, cellsPerRow int) float64 {
+	// Use log1p/expm1 for numerical stability with tiny BERs.
+	return -math.Expm1(float64(cellsPerRow) * math.Log1p(-ber))
+}
+
+// PSubarrayMoreThan returns the probability that a subarray of `rows` rows
+// contains more than n weak rows (Equation 2):
+//
+//	P = 1 − Σ_{k=0..n} C(rows,k) p^k (1−p)^(rows−k)
+func PSubarrayMoreThan(n, rows int, pRow float64) float64 {
+	sum := 0.0
+	logP := math.Log(pRow)
+	logQ := math.Log1p(-pRow)
+	logC := 0.0 // log C(rows, 0)
+	for k := 0; k <= n; k++ {
+		if k > 0 {
+			logC += math.Log(float64(rows-k+1)) - math.Log(float64(k))
+		}
+		sum += math.Exp(logC + float64(k)*logP + float64(rows-k)*logQ)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return 1 - sum
+}
+
+// PAnySubarrayMoreThan returns the probability that at least one of
+// numSubarrays subarrays has more than n weak rows.
+func PAnySubarrayMoreThan(n, rows int, pRow float64, numSubarrays int) float64 {
+	p := PSubarrayMoreThan(n, rows, pRow)
+	return -math.Expm1(float64(numSubarrays) * math.Log1p(-p))
+}
+
+// Profile records the weak rows of every subarray in a DRAM system, indexed
+// as [channel][rank][bank][subarray] -> weak regular-row indices within the
+// subarray.
+type Profile struct {
+	Weak [][][][][]int
+}
+
+// Geometry mirrors the fields of dram.Geometry that the sampler needs,
+// avoiding a dependency on the device package.
+type Geometry struct {
+	Channels, Ranks, Banks, Subarrays, RowsPerSubarray int
+}
+
+// SampleProfile draws a weak-row profile with each row independently weak
+// with probability pRow (the paper's experimentally-supported uniform-random
+// model), using the given seed for reproducibility.
+func SampleProfile(g Geometry, pRow float64, seed int64) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Profile{}
+	p.Weak = make([][][][][]int, g.Channels)
+	for c := range p.Weak {
+		p.Weak[c] = make([][][][]int, g.Ranks)
+		for r := range p.Weak[c] {
+			p.Weak[c][r] = make([][][]int, g.Banks)
+			for b := range p.Weak[c][r] {
+				p.Weak[c][r][b] = make([][]int, g.Subarrays)
+				for s := range p.Weak[c][r][b] {
+					var weak []int
+					for row := 0; row < g.RowsPerSubarray; row++ {
+						if rng.Float64() < pRow {
+							weak = append(weak, row)
+						}
+					}
+					p.Weak[c][r][b][s] = weak
+				}
+			}
+		}
+	}
+	return p
+}
+
+// FixedProfile marks the first n rows of every subarray weak. The paper's
+// CROW-ref evaluation conservatively assumes three weak rows per subarray
+// (Section 8.2), far more than the statistical expectation.
+func FixedProfile(g Geometry, n int, seed int64) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Profile{}
+	p.Weak = make([][][][][]int, g.Channels)
+	for c := range p.Weak {
+		p.Weak[c] = make([][][][]int, g.Ranks)
+		for r := range p.Weak[c] {
+			p.Weak[c][r] = make([][][]int, g.Banks)
+			for b := range p.Weak[c][r] {
+				p.Weak[c][r][b] = make([][]int, g.Subarrays)
+				for s := range p.Weak[c][r][b] {
+					weak := make([]int, 0, n)
+					for len(weak) < n {
+						row := rng.Intn(g.RowsPerSubarray)
+						dup := false
+						for _, w := range weak {
+							if w == row {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							weak = append(weak, row)
+						}
+					}
+					p.Weak[c][r][b][s] = weak
+				}
+			}
+		}
+	}
+	return p
+}
+
+// MaxWeakPerSubarray returns the largest weak-row count of any subarray.
+func (p *Profile) MaxWeakPerSubarray() int {
+	max := 0
+	for _, ch := range p.Weak {
+		for _, rk := range ch {
+			for _, bk := range rk {
+				for _, sa := range bk {
+					if len(sa) > max {
+						max = len(sa)
+					}
+				}
+			}
+		}
+	}
+	return max
+}
+
+// TotalWeak returns the total number of weak rows in the profile.
+func (p *Profile) TotalWeak() int {
+	n := 0
+	for _, ch := range p.Weak {
+		for _, rk := range ch {
+			for _, bk := range rk {
+				for _, sa := range bk {
+					n += len(sa)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// VRTCell models one variable-retention-time cell that nondeterministically
+// transitions between a high- and a low-retention state (Section 4.2.3).
+type VRTCell struct {
+	Channel, Rank, Bank, Subarray, Row int
+	LowRetention                       bool // currently weak
+}
+
+// VRTModel flips a population of VRT cells between retention states; a
+// periodic profiling pass (the paper's [41, 87, 88]) observes the current
+// state and drives dynamic remapping.
+type VRTModel struct {
+	Cells []VRTCell
+	// FlipProb is the per-profiling-interval probability that a cell
+	// toggles between its high- and low-retention states.
+	FlipProb float64
+	rng      *rand.Rand
+}
+
+// NewVRTModel places n VRT cells uniformly at random.
+func NewVRTModel(g Geometry, n int, flipProb float64, seed int64) *VRTModel {
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]VRTCell, n)
+	for i := range cells {
+		cells[i] = VRTCell{
+			Channel:  rng.Intn(g.Channels),
+			Rank:     rng.Intn(g.Ranks),
+			Bank:     rng.Intn(g.Banks),
+			Subarray: rng.Intn(g.Subarrays),
+			Row:      rng.Intn(g.RowsPerSubarray),
+		}
+	}
+	return &VRTModel{Cells: cells, FlipProb: flipProb, rng: rng}
+}
+
+// Step advances one profiling interval, toggling cell states.
+func (v *VRTModel) Step() {
+	for i := range v.Cells {
+		if v.rng.Float64() < v.FlipProb {
+			v.Cells[i].LowRetention = !v.Cells[i].LowRetention
+		}
+	}
+}
+
+// NewlyWeak returns the cells currently in the low-retention state that are
+// not already covered by the profile.
+func (v *VRTModel) NewlyWeak(p *Profile) []VRTCell {
+	var out []VRTCell
+	for _, c := range v.Cells {
+		if !c.LowRetention {
+			continue
+		}
+		covered := false
+		for _, w := range p.Weak[c.Channel][c.Rank][c.Bank][c.Subarray] {
+			if w == c.Row {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Add records a newly discovered weak row in the profile (idempotent).
+func (p *Profile) Add(c VRTCell) {
+	weak := p.Weak[c.Channel][c.Rank][c.Bank][c.Subarray]
+	for _, w := range weak {
+		if w == c.Row {
+			return
+		}
+	}
+	p.Weak[c.Channel][c.Rank][c.Bank][c.Subarray] = append(weak, c.Row)
+}

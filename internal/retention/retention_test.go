@@ -1,0 +1,137 @@
+package retention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPWeakRowPaperValue(t *testing.T) {
+	// 8 KiB row = 65536 cells at BER 4e-9: P ≈ 2.62e-4.
+	p := PWeakRow(DefaultBER, 64*1024)
+	if math.Abs(p-2.62e-4)/2.62e-4 > 0.01 {
+		t.Errorf("PWeakRow = %.4g, want ≈ 2.62e-4", p)
+	}
+}
+
+// TestSubarrayProbabilitiesPaperValues checks Section 4.2.1's table: for a
+// chip with 8 banks, 128 subarrays/bank, 512 rows/subarray and 8 KiB rows,
+// the probability of ANY subarray having more than 1/2/4/8 weak rows is
+// 0.99 / 3.1e-1 / 3.3e-4 / 3.3e-11.
+func TestSubarrayProbabilitiesPaperValues(t *testing.T) {
+	pRow := PWeakRow(DefaultBER, 64*1024)
+	const subarrays = 8 * 128
+	cases := []struct {
+		n    int
+		want float64
+		rel  float64
+	}{
+		{1, 0.99, 0.02},
+		{2, 3.1e-1, 0.10},
+		{4, 3.3e-4, 0.15},
+		{8, 3.3e-11, 0.35},
+	}
+	for _, c := range cases {
+		got := PAnySubarrayMoreThan(c.n, 512, pRow, subarrays)
+		if math.Abs(got-c.want)/c.want > c.rel {
+			t.Errorf("P(any subarray > %d weak rows) = %.3g, want ≈ %.3g", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPSubarrayMonotonic: allowing more weak rows can only decrease the
+// overflow probability — property test.
+func TestPSubarrayMonotonic(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw % 16)
+		p := float64(pRaw+1) / 70000 // (0, ~0.94)
+		a := PSubarrayMoreThan(n, 512, p)
+		b := PSubarrayMoreThan(n+1, 512, p)
+		return b <= a+1e-12 && a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func smallGeo() Geometry {
+	return Geometry{Channels: 2, Ranks: 1, Banks: 4, Subarrays: 8, RowsPerSubarray: 64}
+}
+
+func TestSampleProfileDeterministic(t *testing.T) {
+	g := smallGeo()
+	a := SampleProfile(g, 0.05, 42)
+	b := SampleProfile(g, 0.05, 42)
+	if a.TotalWeak() != b.TotalWeak() {
+		t.Error("same seed must give the same profile")
+	}
+	c := SampleProfile(g, 0.05, 43)
+	if a.TotalWeak() == 0 || c.TotalWeak() == 0 {
+		t.Error("with p=0.05 over 4096 rows, some weak rows are expected")
+	}
+}
+
+func TestSampleProfileRate(t *testing.T) {
+	g := Geometry{Channels: 1, Ranks: 1, Banks: 8, Subarrays: 16, RowsPerSubarray: 512}
+	p := SampleProfile(g, 0.01, 7)
+	total := 8 * 16 * 512
+	got := float64(p.TotalWeak()) / float64(total)
+	if got < 0.005 || got > 0.02 {
+		t.Errorf("weak rate = %.4f, want ≈ 0.01", got)
+	}
+}
+
+func TestFixedProfile(t *testing.T) {
+	g := smallGeo()
+	p := FixedProfile(g, 3, 1)
+	if p.MaxWeakPerSubarray() != 3 {
+		t.Errorf("MaxWeakPerSubarray = %d, want 3", p.MaxWeakPerSubarray())
+	}
+	if p.TotalWeak() != 2*1*4*8*3 {
+		t.Errorf("TotalWeak = %d, want %d", p.TotalWeak(), 2*4*8*3)
+	}
+	// Rows must be distinct within a subarray.
+	for _, ch := range p.Weak {
+		for _, rk := range ch {
+			for _, bk := range rk {
+				for _, sa := range bk {
+					seen := map[int]bool{}
+					for _, r := range sa {
+						if seen[r] {
+							t.Fatal("duplicate weak row in subarray")
+						}
+						seen[r] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVRTModel(t *testing.T) {
+	g := smallGeo()
+	v := NewVRTModel(g, 20, 0.5, 9)
+	p := FixedProfile(g, 0, 1)
+	if n := len(v.NewlyWeak(p)); n != 0 {
+		t.Errorf("no cell starts weak, got %d", n)
+	}
+	for i := 0; i < 10; i++ {
+		v.Step()
+	}
+	newly := v.NewlyWeak(p)
+	if len(newly) == 0 {
+		t.Fatal("after stepping, some VRT cells must be in the low-retention state")
+	}
+	for _, c := range newly {
+		p.Add(c)
+	}
+	if len(v.NewlyWeak(p)) != 0 {
+		t.Error("after adding to the profile, no cell is newly weak")
+	}
+	// Add is idempotent.
+	before := p.TotalWeak()
+	p.Add(newly[0])
+	if p.TotalWeak() != before {
+		t.Error("Add must be idempotent")
+	}
+}

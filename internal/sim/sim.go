@@ -1,0 +1,349 @@
+// Package sim binds the pieces into the full simulated system of Table 2:
+// 1–4 trace-driven cores at 4 GHz, a shared LLC, four LPDDR4 channels at a
+// 1600 MHz command clock, and a pluggable core.Mechanism. The simulation
+// advances in CPU cycles with an exact 2:5 DRAM:CPU clock ratio.
+package sim
+
+import (
+	"crowdram/internal/cache"
+	"crowdram/internal/core"
+	"crowdram/internal/cpu"
+	"crowdram/internal/ctrl"
+	"crowdram/internal/dram"
+	"crowdram/internal/energy"
+	"crowdram/internal/metrics"
+	"crowdram/internal/prefetch"
+	"crowdram/internal/trace"
+)
+
+// Config describes one simulated system.
+type Config struct {
+	Channels int
+	Geo      dram.Geometry
+	T        dram.Timing
+	LLC      cache.Config
+	Core     cpu.Config
+	Cap      int     // FR-FCFS-Cap
+	Timeout  float64 // row-buffer timeout, ns
+	MASA     bool
+	OpenPage bool
+	Prefetch bool
+
+	// PerBankRefresh and MaxPostpone select the refresh mode (LPDDR4
+	// REFpb, elastic postponement).
+	PerBankRefresh bool
+	MaxPostpone    int
+
+	// WarmupInsts and MeasureInsts are per-core instruction counts: stats
+	// reset once every core has retired WarmupInsts, and the run ends
+	// once every core has retired WarmupInsts+MeasureInsts.
+	WarmupInsts  int64
+	MeasureInsts int64
+
+	Seed int64
+}
+
+// Default returns the Table 2 system configuration (4 channels, 8 MiB LLC)
+// with the given per-copy-row geometry, density and refresh window.
+func Default(copyRows int, d dram.Density, refWindowMS float64) Config {
+	g := dram.Std(copyRows)
+	return Config{
+		Channels:     4,
+		Geo:          g,
+		T:            dram.LPDDR4(d, refWindowMS, g),
+		LLC:          cache.DefaultConfig(),
+		Core:         cpu.DefaultConfig(),
+		Cap:          16,
+		Timeout:      75,
+		WarmupInsts:  50_000,
+		MeasureInsts: 500_000,
+		Seed:         1,
+	}
+}
+
+// Result reports the outcome of one simulation run.
+type Result struct {
+	IPC        []float64 // per-core measured IPC
+	MPKI       []float64 // per-core LLC demand MPKI
+	Cycles     int64     // CPU cycles in the measured interval
+	DRAMCycles int64
+	Energy     energy.Breakdown
+	DRAM       dram.Stats // summed over channels, measured interval
+	Ctrl       ctrl.Stats // summed over channels
+	CROW       core.Stats // zero-valued for non-CROW mechanisms
+	LLC        cache.Stats
+	AvgReadNs  float64
+	// ReadP50Ns/ReadP99Ns bound the 50th/99th-percentile demand read
+	// latency (log-bucket upper bounds), aggregated over channels and
+	// the whole run including warmup.
+	ReadP50Ns   float64
+	ReadP99Ns   float64
+	RefreshMult int
+}
+
+// System is one assembled simulation instance.
+type System struct {
+	Cfg    Config
+	Mech   core.Mechanism
+	Cores  []*cpu.Core
+	LLC    *cache.Cache
+	Ctrls  []*ctrl.Controller
+	Mapper *dram.Mapper
+	Pref   *prefetch.Prefetcher
+
+	cpuCycle  int64
+	dramCycle int64
+	accum     int
+
+	physPages uint64
+}
+
+// memPort adapts the controllers to the cache's Memory interface.
+type memPort struct{ s *System }
+
+func (m memPort) SendRead(lineAddr uint64, pref bool, done func(now int64)) bool {
+	s := m.s
+	a := s.Mapper.Decode(lineAddr)
+	req := &ctrl.Request{Type: ctrl.Read, Addr: a, IsPref: pref, Done: func(int64) {
+		// Completion callbacks run in DRAM-cycle context; deliver to
+		// the CPU side at the current CPU cycle.
+		done(s.cpuCycle)
+	}}
+	return s.Ctrls[a.Channel].EnqueueRead(req, s.dramCycle)
+}
+
+func (m memPort) SendWrite(lineAddr uint64) bool {
+	s := m.s
+	a := s.Mapper.Decode(lineAddr)
+	return s.Ctrls[a.Channel].EnqueueWrite(&ctrl.Request{Type: ctrl.Write, Addr: a}, s.dramCycle)
+}
+
+// llcPort wraps the LLC for the cores, adding prefetcher training.
+type llcPort struct{ s *System }
+
+func (p llcPort) Access(now int64, coreID int, addr uint64, write bool, done func(now int64)) (bool, bool) {
+	s := p.s
+	accepted, hit := s.LLC.Access(now, coreID, addr, write, done)
+	if accepted && !hit && s.Pref != nil {
+		for _, pa := range s.Pref.OnMiss(coreID, addr) {
+			s.LLC.Prefetch(now, pa)
+		}
+	}
+	return accepted, hit
+}
+
+// Translate implements cpu.Translator: virtual pages map to uniformly
+// scattered physical frames (emulating a steady-state system's randomized
+// frame allocation, Section 7 [85]), deterministically per (core, page).
+func (s *System) Translate(coreID int, vaddr uint64) uint64 {
+	vpn := vaddr >> 12
+	h := uint64(coreID+1)*0x9E3779B97F4A7C15 ^ vpn*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	frame := h % s.physPages
+	return frame<<12 | (vaddr & 0xFFF)
+}
+
+// New assembles a system running one generator per core under the given
+// mechanism.
+func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
+	s := &System{Cfg: cfg, Mech: mech}
+	s.Mapper = dram.NewMapper(cfg.Channels, cfg.Geo)
+	s.physPages = uint64(s.Mapper.Capacity()) >> 12
+	s.Ctrls = make([]*ctrl.Controller, cfg.Channels)
+	for ch := range s.Ctrls {
+		ccfg := ctrl.DefaultConfig(ch, cfg.Geo, cfg.T)
+		ccfg.Cap = cfg.Cap
+		ccfg.TimeoutNs = cfg.Timeout
+		ccfg.MASA = cfg.MASA
+		ccfg.OpenPage = cfg.OpenPage
+		ccfg.PerBankRefresh = cfg.PerBankRefresh
+		ccfg.MaxPostpone = cfg.MaxPostpone
+		s.Ctrls[ch] = ctrl.New(ccfg, mech)
+	}
+	s.LLC = cache.New(cfg.LLC, memPort{s}, len(gens))
+	// Start from a steady-state (full, partially dirty) LLC so that
+	// writeback traffic exists even in short runs.
+	s.LLC.Prefill(s.Mapper.Bits()-6, 0.25, cfg.Seed)
+	if cfg.Prefetch {
+		s.Pref = prefetch.New(prefetch.DefaultConfig(), len(gens))
+	}
+	s.Cores = make([]*cpu.Core, len(gens))
+	for i, g := range gens {
+		s.Cores[i] = cpu.New(i, cfg.Core, g, llcPort{s}, s)
+	}
+	return s
+}
+
+func (s *System) tick() {
+	s.cpuCycle++
+	for _, c := range s.Cores {
+		c.Tick(s.cpuCycle)
+	}
+	s.LLC.Tick(s.cpuCycle)
+	// 2 DRAM command cycles per 5 CPU cycles (1600 MHz vs 4 GHz).
+	s.accum += 2
+	if s.accum >= 5 {
+		s.accum -= 5
+		s.dramCycle++
+		for _, c := range s.Ctrls {
+			c.Tick(s.dramCycle)
+		}
+	}
+}
+
+func (s *System) allReached(target int64) bool {
+	for _, c := range s.Cores {
+		if c.Retired < target {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes warmup then measurement and returns the results.
+func (s *System) Run() Result {
+	// Warmup.
+	warmLimit := s.Cfg.WarmupInsts*int64(len(s.Cores))*10_000 + 10_000_000
+	for !s.allReached(s.Cfg.WarmupInsts) && s.cpuCycle < warmLimit {
+		s.tick()
+	}
+	// Reset measurement state.
+	startDRAM := s.dramCycle
+	var devSnap []dram.Stats
+	var ctrlSnap []ctrl.Stats
+	for _, c := range s.Ctrls {
+		devSnap = append(devSnap, c.Dev.Stats)
+		ctrlSnap = append(ctrlSnap, c.Stats)
+	}
+	var crowSnap core.Stats
+	if cw, ok := s.Mech.(*core.CROW); ok {
+		crowSnap = cw.Stats
+	}
+	s.LLC.ResetStats()
+	for _, c := range s.Cores {
+		c.ResetStats()
+	}
+
+	// Measurement: run until every core retires the target; cores that
+	// finish early keep running (and keep interfering), per Section 7.
+	target := s.Cfg.MeasureInsts
+	finish := make([]int64, len(s.Cores))
+	limit := s.cpuCycle + target*int64(len(s.Cores))*10_000 + 50_000_000
+	for s.cpuCycle < limit {
+		s.tick()
+		doneAll := true
+		for i, c := range s.Cores {
+			if finish[i] == 0 && c.Retired >= target {
+				finish[i] = c.Cycles
+			}
+			if finish[i] == 0 {
+				doneAll = false
+			}
+		}
+		if doneAll {
+			break
+		}
+	}
+
+	res := Result{RefreshMult: s.Mech.RefreshMultiplier()}
+	res.DRAMCycles = s.dramCycle - startDRAM
+	insts := make([]int64, len(s.Cores))
+	for i, c := range s.Cores {
+		cyc := finish[i]
+		if cyc == 0 {
+			cyc = c.Cycles
+		}
+		res.IPC = append(res.IPC, float64(target)/float64(cyc))
+		insts[i] = c.Retired
+		res.Cycles = c.Cycles // all cores share the clock
+	}
+	res.MPKI = s.LLC.MPKI(insts)
+	res.LLC = s.LLC.Stats
+
+	params := energy.DefaultParams()
+	var lat float64
+	for i, c := range s.Ctrls {
+		var dev dram.Stats
+		dev = diffDram(c.Dev.Stats, devSnap[i])
+		res.DRAM = addDram(res.DRAM, dev)
+		cs := diffCtrl(c.Stats, ctrlSnap[i])
+		res.Ctrl = addCtrl(res.Ctrl, cs)
+		res.Energy = res.Energy.Add(energy.Compute(dev, s.Cfg.T, res.DRAMCycles, params))
+		lat += cs.AvgReadLatencyNs()
+	}
+	res.AvgReadNs = lat / float64(len(s.Ctrls))
+	allLat := metrics.NewHistogram()
+	for _, c := range s.Ctrls {
+		allLat.Merge(c.ReadLatency)
+	}
+	res.ReadP50Ns = allLat.Percentile(50) * dram.Cycle
+	res.ReadP99Ns = allLat.Percentile(99) * dram.Cycle
+	if cw, ok := s.Mech.(*core.CROW); ok {
+		res.CROW = diffCROW(cw.Stats, crowSnap)
+	}
+	return res
+}
+
+func diffDram(a, b dram.Stats) dram.Stats {
+	return dram.Stats{
+		ACT: a.ACT - b.ACT, ACTTwo: a.ACTTwo - b.ACTTwo, ACTCopy: a.ACTCopy - b.ACTCopy,
+		ACTCopyRow: a.ACTCopyRow - b.ACTCopyRow, PRE: a.PRE - b.PRE,
+		RD: a.RD - b.RD, WR: a.WR - b.WR, REF: a.REF - b.REF, REFpb: a.REFpb - b.REFpb,
+		ActRasSingle:        a.ActRasSingle - b.ActRasSingle,
+		ActRasMRA:           a.ActRasMRA - b.ActRasMRA,
+		OpenBufferCycles:    a.OpenBufferCycles - b.OpenBufferCycles,
+		ActiveStandbyCycles: a.ActiveStandbyCycles - b.ActiveStandbyCycles,
+		RefreshBusyCycles:   a.RefreshBusyCycles - b.RefreshBusyCycles,
+		RDBusyCycles:        a.RDBusyCycles - b.RDBusyCycles,
+		WRBusyCycles:        a.WRBusyCycles - b.WRBusyCycles,
+	}
+}
+
+func addDram(a, b dram.Stats) dram.Stats { return diffDram(a, negDram(b)) }
+
+func negDram(b dram.Stats) dram.Stats {
+	return dram.Stats{
+		ACT: -b.ACT, ACTTwo: -b.ACTTwo, ACTCopy: -b.ACTCopy, ACTCopyRow: -b.ACTCopyRow,
+		PRE: -b.PRE, RD: -b.RD, WR: -b.WR, REF: -b.REF, REFpb: -b.REFpb,
+		ActRasSingle:        -b.ActRasSingle,
+		ActRasMRA:           -b.ActRasMRA,
+		OpenBufferCycles:    -b.OpenBufferCycles,
+		ActiveStandbyCycles: -b.ActiveStandbyCycles,
+		RefreshBusyCycles:   -b.RefreshBusyCycles,
+		RDBusyCycles:        -b.RDBusyCycles,
+		WRBusyCycles:        -b.WRBusyCycles,
+	}
+}
+
+func diffCtrl(a, b ctrl.Stats) ctrl.Stats {
+	return ctrl.Stats{
+		ReadsServed: a.ReadsServed - b.ReadsServed, WritesServed: a.WritesServed - b.WritesServed,
+		ReadLatencySum: a.ReadLatencySum - b.ReadLatencySum,
+		RowHits:        a.RowHits - b.RowHits, RowMisses: a.RowMisses - b.RowMisses,
+		RowConflicts: a.RowConflicts - b.RowConflicts, Forwarded: a.Forwarded - b.Forwarded,
+		Refreshes: a.Refreshes - b.Refreshes, TimeoutCloses: a.TimeoutCloses - b.TimeoutCloses,
+		MechCopies: a.MechCopies - b.MechCopies, Scrubs: a.Scrubs - b.Scrubs,
+	}
+}
+
+func addCtrl(a, b ctrl.Stats) ctrl.Stats {
+	return diffCtrl(a, ctrl.Stats{
+		ReadsServed: -b.ReadsServed, WritesServed: -b.WritesServed,
+		ReadLatencySum: -b.ReadLatencySum,
+		RowHits:        -b.RowHits, RowMisses: -b.RowMisses,
+		RowConflicts: -b.RowConflicts, Forwarded: -b.Forwarded,
+		Refreshes: -b.Refreshes, TimeoutCloses: -b.TimeoutCloses,
+		MechCopies: -b.MechCopies, Scrubs: -b.Scrubs,
+	})
+}
+
+func diffCROW(a, b core.Stats) core.Stats {
+	return core.Stats{
+		Hits: a.Hits - b.Hits, Misses: a.Misses - b.Misses,
+		Copies: a.Copies - b.Copies, Evictions: a.Evictions - b.Evictions,
+		RestoreOps: a.RestoreOps - b.RestoreOps, RefRemaps: a.RefRemaps - b.RefRemaps,
+		HamRemaps: a.HamRemaps - b.HamRemaps, Fallback: a.Fallback,
+	}
+}

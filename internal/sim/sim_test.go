@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/retention"
+	"crowdram/internal/trace"
+)
+
+func smallCfg(copyRows int) Config {
+	cfg := Default(copyRows, dram.Density8Gb, 64)
+	cfg.WarmupInsts = 5_000
+	cfg.MeasureInsts = 40_000
+	return cfg
+}
+
+func gen(name string, seed int64, t *testing.T) trace.Generator {
+	t.Helper()
+	app, err := trace.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.Gen(seed)
+}
+
+func TestBaselineSingleCoreCompletes(t *testing.T) {
+	cfg := smallCfg(0)
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	res := s.Run()
+	if len(res.IPC) != 1 || res.IPC[0] <= 0 || res.IPC[0] > 4 {
+		t.Fatalf("IPC = %v, want (0,4]", res.IPC)
+	}
+	if res.DRAM.Activations() == 0 || res.DRAM.RD == 0 {
+		t.Errorf("no DRAM activity: %+v", res.DRAM)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Error("energy must be positive")
+	}
+	if res.Ctrl.Refreshes == 0 {
+		t.Error("refreshes must occur during the run")
+	}
+	if res.MPKI[0] < 10 {
+		t.Errorf("mcf MPKI = %.1f, want high intensity (>=10)", res.MPKI[0])
+	}
+}
+
+func TestMemoryIntensityClasses(t *testing.T) {
+	cases := []struct {
+		app      string
+		insts    int64
+		min, max float64
+	}{
+		{"mcf", 40_000, 10, 100},
+		// zeusmp's steady state needs at least a few tile periods.
+		{"zeusmp", 300_000, 1, 10},
+		// Low-intensity apps touch memory so rarely that classifying
+		// them needs a longer run for the LLC to warm.
+		{"povray", 800_000, 0, 1},
+	}
+	for _, c := range cases {
+		cfg := smallCfg(0)
+		cfg.WarmupInsts = c.insts / 4
+		cfg.MeasureInsts = c.insts
+		s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen(c.app, 1, t)})
+		res := s.Run()
+		if res.MPKI[0] < c.min || res.MPKI[0] > c.max {
+			t.Errorf("%s MPKI = %.2f, want [%.0f, %.0f]", c.app, res.MPKI[0], c.min, c.max)
+		}
+	}
+}
+
+func TestCROWCacheSpeedsUpRowReuseWorkload(t *testing.T) {
+	base := smallCfg(0)
+	bs := New(base, &core.Baseline{T: base.T}, []trace.Generator{gen("mcf", 1, t)})
+	baseRes := bs.Run()
+
+	cfg := smallCfg(8)
+	mech := core.NewCROW(cfg.Channels, cfg.Geo, cfg.T)
+	mech.Cache = true
+	cs := New(cfg, mech, []trace.Generator{gen("mcf", 1, t)})
+	crowRes := cs.Run()
+
+	if crowRes.CROW.Hits == 0 {
+		t.Fatal("CROW-cache must register hits on a row-reuse workload")
+	}
+	hitRate := crowRes.CROW.HitRate()
+	if hitRate <= 0.2 {
+		t.Errorf("CROW-8 hit rate = %.2f, expected substantial reuse", hitRate)
+	}
+	if crowRes.IPC[0] <= baseRes.IPC[0]*0.99 {
+		t.Errorf("CROW-cache must not slow down mcf: %.4f vs %.4f", crowRes.IPC[0], baseRes.IPC[0])
+	}
+	if crowRes.DRAM.ACTTwo == 0 || crowRes.DRAM.ACTCopy == 0 {
+		t.Errorf("expected ACT-t and ACT-c activity: %+v", crowRes.DRAM)
+	}
+}
+
+func TestCROWRefReducesRefreshes(t *testing.T) {
+	mk := func(ref bool) Result {
+		cfg := smallCfg(8)
+		cfg.T = dram.LPDDR4(dram.Density64Gb, 64, cfg.Geo)
+		mech := core.NewCROW(cfg.Channels, cfg.Geo, cfg.T)
+		if ref {
+			mech.Ref = true
+			mech.LoadProfile(retention.FixedProfile(retention.Geometry{
+				Channels: cfg.Channels, Ranks: cfg.Geo.Ranks, Banks: cfg.Geo.Banks,
+				Subarrays: cfg.Geo.SubarraysPerBank(), RowsPerSubarray: cfg.Geo.RowsPerSubarray,
+			}, 3, 7))
+		}
+		s := New(cfg, mech, []trace.Generator{gen("mcf", 1, t)})
+		return s.Run()
+	}
+	base := mk(false)
+	ref := mk(true)
+	if ref.RefreshMult != 2 {
+		t.Fatalf("refresh multiplier = %d, want 2", ref.RefreshMult)
+	}
+	// Normalize refresh counts per DRAM cycle (runtimes differ).
+	baseRate := float64(base.Ctrl.Refreshes) / float64(base.DRAMCycles)
+	refRate := float64(ref.Ctrl.Refreshes) / float64(ref.DRAMCycles)
+	if refRate >= baseRate*0.7 {
+		t.Errorf("CROW-ref must halve the refresh rate: %.3g vs %.3g", refRate, baseRate)
+	}
+	if ref.IPC[0] <= base.IPC[0] {
+		t.Errorf("CROW-ref must speed up under heavy refresh: %.4f vs %.4f", ref.IPC[0], base.IPC[0])
+	}
+	if ref.Energy.Refresh >= base.Energy.Refresh {
+		t.Error("CROW-ref must reduce refresh energy")
+	}
+}
+
+func TestIdealFasterThanRealCROW(t *testing.T) {
+	run := func(m core.Mechanism, copyRows int) Result {
+		cfg := smallCfg(copyRows)
+		s := New(cfg, m, []trace.Generator{gen("mcf", 3, t)})
+		return s.Run()
+	}
+	cfg := smallCfg(8)
+	mech := core.NewCROW(cfg.Channels, cfg.Geo, cfg.T)
+	mech.Cache = true
+	real := run(mech, 8)
+	ideal := run(&core.Ideal{T: cfg.T}, 8)
+	if ideal.IPC[0] < real.IPC[0]*0.98 {
+		t.Errorf("ideal CROW-cache must be at least as fast: %.4f vs %.4f", ideal.IPC[0], real.IPC[0])
+	}
+}
+
+func TestFourCoreRun(t *testing.T) {
+	cfg := smallCfg(0)
+	cfg.MeasureInsts = 20_000
+	gens := []trace.Generator{gen("mcf", 1, t), gen("lbm", 2, t), gen("povray", 3, t), gen("zeusmp", 4, t)}
+	s := New(cfg, &core.Baseline{T: cfg.T}, gens)
+	res := s.Run()
+	if len(res.IPC) != 4 {
+		t.Fatalf("want 4 IPC values, got %d", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 4 {
+			t.Errorf("core %d IPC = %.3f out of range", i, ipc)
+		}
+	}
+	// The low-intensity core must achieve higher IPC than the high ones.
+	if res.IPC[2] <= res.IPC[0] {
+		t.Errorf("povray (L) IPC %.3f should exceed mcf (H) IPC %.3f", res.IPC[2], res.IPC[0])
+	}
+}
+
+func TestTranslateDeterministicAndInRange(t *testing.T) {
+	cfg := smallCfg(0)
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	a := s.Translate(0, 0x12345678)
+	if a != s.Translate(0, 0x12345678) {
+		t.Error("translation must be deterministic")
+	}
+	if a == s.Translate(1, 0x12345678) {
+		t.Error("different cores must map to different frames (with overwhelming probability)")
+	}
+	if a>>12 >= s.physPages {
+		t.Error("frame out of range")
+	}
+	if a&0xFFF != 0x678 {
+		t.Error("page offset must be preserved")
+	}
+}
+
+func TestPrefetchImprovesStreaming(t *testing.T) {
+	run := func(pf bool) Result {
+		cfg := smallCfg(0)
+		cfg.Prefetch = pf
+		s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("libq", 1, t)})
+		return s.Run()
+	}
+	off := run(false)
+	on := run(true)
+	if on.LLC.PrefIssued == 0 {
+		t.Fatal("prefetcher must issue prefetches on a streaming workload")
+	}
+	if on.LLC.PrefUseful == 0 {
+		t.Error("some prefetches must be useful")
+	}
+	if on.IPC[0] <= off.IPC[0] {
+		t.Errorf("prefetching must speed up streaming: %.4f vs %.4f", on.IPC[0], off.IPC[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := smallCfg(8)
+		mech := core.NewCROW(cfg.Channels, cfg.Geo, cfg.T)
+		mech.Cache = true
+		s := New(cfg, mech, []trace.Generator{gen("soplex", 7, t)})
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a.IPC[0] != b.IPC[0] || a.DRAM != b.DRAM || a.CROW != b.CROW {
+		t.Error("identical configurations must produce identical results")
+	}
+}

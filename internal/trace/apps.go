@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Class is the memory-intensity class of Section 7 (by LLC MPKI).
+type Class int
+
+// Memory-intensity classes: L (< 1 MPKI), M (1–10), H (>= 10).
+const (
+	Low Class = iota
+	Medium
+	High
+)
+
+func (c Class) String() string { return [...]string{"L", "M", "H"}[c] }
+
+// App is a named synthetic application calibrated to the memory behaviour
+// (intensity class and locality style) of one of the paper's benchmark
+// programs. The traces are synthetic stand-ins — see DESIGN.md.
+type App struct {
+	Name  string
+	Class Class
+	Spec  Spec
+	// Synthetic marks the paper's two synthetic probes (random,
+	// streaming), which are excluded from average-performance figures.
+	Synthetic bool
+}
+
+// Gen builds this app's deterministic generator; the seed offsets let
+// multi-programmed mixes reuse an app with decorrelated streams.
+func (a App) Gen(seed int64) Generator { return New(a.Spec, seed) }
+
+const (
+	kib = 1024
+	mib = 1024 * 1024
+)
+
+// Apps is the synthetic workload suite, one entry per application in the
+// paper's evaluation (Figure 8), plus the two synthetic probes.
+var Apps = []App{
+	// High intensity: working sets far beyond the 8 MiB LLC.
+	{Name: "mcf", Class: High, Spec: Spec{Pattern: Zipf, WSS: 512 * mib, Bubbles: 12, WriteFrac: 0.25, Burst: 2, ZipfS: 1.5, Revisit: 0.55}},
+	{Name: "lbm", Class: High, Spec: Spec{Pattern: Seq, WSS: 256 * mib, Bubbles: 14, WriteFrac: 0.45, Streams: 3}},
+	{Name: "libq", Class: High, Spec: Spec{Pattern: Seq, WSS: 64 * mib, Bubbles: 22, WriteFrac: 0.05}},
+	{Name: "milc", Class: High, Spec: Spec{Pattern: Zipf, WSS: 384 * mib, Bubbles: 28, WriteFrac: 0.30, Burst: 4, ZipfS: 1.4, Revisit: 0.35}},
+	{Name: "soplex", Class: High, Spec: Spec{Pattern: Zipf, WSS: 256 * mib, Bubbles: 30, WriteFrac: 0.20, Burst: 3, ZipfS: 1.5, Revisit: 0.3}},
+	{Name: "gems", Class: High, Spec: Spec{Pattern: Tile, WSS: 512 * mib, Bubbles: 32, WriteFrac: 0.30}},
+	{Name: "leslie3d", Class: High, Spec: Spec{Pattern: Seq, WSS: 128 * mib, Bubbles: 40, WriteFrac: 0.35, Streams: 4}},
+	{Name: "omnetpp", Class: High, Spec: Spec{Pattern: Rand, WSS: 192 * mib, Bubbles: 45, WriteFrac: 0.30, Burst: 2, Revisit: 0.6}},
+	{Name: "bwaves", Class: High, Spec: Spec{Pattern: Tile, WSS: 384 * mib, Bubbles: 48, WriteFrac: 0.25}},
+	{Name: "tpcc64", Class: High, Spec: Spec{Pattern: Zipf, WSS: 1024 * mib, Bubbles: 55, WriteFrac: 0.35, Burst: 3, ZipfS: 1.6, Revisit: 0.4}},
+	{Name: "tpch2", Class: High, Spec: Spec{Pattern: Zipf, WSS: 512 * mib, Bubbles: 60, WriteFrac: 0.10, Burst: 6, ZipfS: 1.3, Revisit: 0.3}},
+	{Name: "stream-copy", Class: High, Spec: Spec{Pattern: Seq, WSS: 128 * mib, Bubbles: 16, WriteFrac: 0.50, Streams: 2}},
+	{Name: "stream-add", Class: High, Spec: Spec{Pattern: Seq, WSS: 192 * mib, Bubbles: 18, WriteFrac: 0.33, Streams: 3}},
+	{Name: "stream-triad", Class: High, Spec: Spec{Pattern: Seq, WSS: 192 * mib, Bubbles: 17, WriteFrac: 0.33, Streams: 3}},
+
+	// Medium intensity: partial LLC fits or moderate rates.
+	{Name: "zeusmp", Class: Medium, Spec: Spec{Pattern: Tile, WSS: 48 * mib, Bubbles: 90, WriteFrac: 0.30, TileBytes: 8 * kib}},
+	{Name: "cactus", Class: Medium, Spec: Spec{Pattern: Zipf, WSS: 64 * mib, Bubbles: 110, WriteFrac: 0.30, Burst: 4, ZipfS: 2.0}},
+	{Name: "astar", Class: Medium, Spec: Spec{Pattern: Rand, WSS: 32 * mib, Bubbles: 120, WriteFrac: 0.25, Burst: 2, Revisit: 0.4}},
+	{Name: "sphinx3", Class: Medium, Spec: Spec{Pattern: Zipf, WSS: 96 * mib, Bubbles: 80, WriteFrac: 0.10, Burst: 5, ZipfS: 1.5, Revisit: 0.3}},
+	{Name: "h264-dec", Class: Medium, Spec: Spec{Pattern: Seq, WSS: 24 * mib, Bubbles: 140, WriteFrac: 0.40}},
+	{Name: "wrf", Class: Medium, Spec: Spec{Pattern: Tile, WSS: 56 * mib, Bubbles: 100, WriteFrac: 0.35, TileBytes: 16 * kib}},
+	{Name: "tpch6", Class: Medium, Spec: Spec{Pattern: Zipf, WSS: 128 * mib, Bubbles: 130, WriteFrac: 0.15, Burst: 8, ZipfS: 1.6}},
+
+	// Low intensity: working sets that (mostly) fit in the LLC.
+	{Name: "gcc", Class: Low, Spec: Spec{Pattern: Tile, WSS: 512 * kib, Bubbles: 160, WriteFrac: 0.30, TileBytes: 16 * kib}},
+	{Name: "h264-enc", Class: Low, Spec: Spec{Pattern: Tile, WSS: 256 * kib, Bubbles: 220, WriteFrac: 0.40, TileBytes: 8 * kib}},
+	{Name: "jp2-dec", Class: Low, Spec: Spec{Pattern: Tile, WSS: 256 * kib, Bubbles: 200, WriteFrac: 0.35, TileBytes: 8 * kib}},
+	{Name: "jp2-enc", Class: Low, Spec: Spec{Pattern: Tile, WSS: 256 * kib, Bubbles: 240, WriteFrac: 0.40, TileBytes: 8 * kib}},
+	{Name: "povray", Class: Low, Spec: Spec{Pattern: Tile, WSS: 128 * kib, Bubbles: 260, WriteFrac: 0.20, TileBytes: 8 * kib}},
+
+	// Synthetic probes (Section 7), excluded from averages.
+	{Name: "random", Class: High, Synthetic: true, Spec: Spec{Pattern: Rand, WSS: 512 * mib, Bubbles: 10, WriteFrac: 0.20, Burst: 1}},
+	{Name: "streaming", Class: High, Synthetic: true, Spec: Spec{Pattern: Seq, WSS: 512 * mib, Bubbles: 120, WriteFrac: 0.20}},
+	// hammer is a RowHammer attack probe (Section 4.3): back-to-back
+	// activations concentrated on a tiny set of rows, with no cacheable
+	// locality (every access is a fresh line of a random hot row).
+	{Name: "hammer", Class: High, Synthetic: true, Spec: Spec{Pattern: Rand, WSS: 256 * kib, Bubbles: 0, WriteFrac: 0, Burst: 1}},
+}
+
+// ByName returns the named app.
+func ByName(name string) (App, error) {
+	for _, a := range Apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("trace: unknown app %q", name)
+}
+
+// ByClass returns the non-synthetic apps of a class.
+func ByClass(c Class) []App {
+	var out []App
+	for _, a := range Apps {
+		if a.Class == c && !a.Synthetic {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Names returns the names of the given apps.
+func Names(apps []App) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Mix is one multi-programmed workload: one app per core.
+type Mix struct {
+	Name string
+	Apps []App
+}
+
+// Groups are the eight four-core workload-mix groups of Section 7, each a
+// combination of memory-intensity classes.
+var Groups = [][]Class{
+	{Low, Low, Low, Low},
+	{Low, Low, Low, High},
+	{Low, Low, High, High},
+	{Low, High, High, High},
+	{High, High, High, High},
+	{Medium, Medium, Medium, Medium},
+	{Low, Medium, Medium, High},
+	{Medium, Medium, High, High},
+}
+
+// GroupName renders a class combination, e.g. "LLHH".
+func GroupName(classes []Class) string {
+	s := ""
+	for _, c := range classes {
+		s += c.String()
+	}
+	return s
+}
+
+// MakeMixes draws n random mixes for the class combination, seeded.
+func MakeMixes(classes []Class, n int, seed int64) []Mix {
+	rng := rand.New(rand.NewSource(seed))
+	mixes := make([]Mix, n)
+	for i := range mixes {
+		apps := make([]App, len(classes))
+		for j, c := range classes {
+			pool := ByClass(c)
+			apps[j] = pool[rng.Intn(len(pool))]
+		}
+		sort.Slice(apps, func(a, b int) bool { return apps[a].Name < apps[b].Name })
+		mixes[i] = Mix{Name: fmt.Sprintf("%s-%d", GroupName(classes), i), Apps: apps}
+	}
+	return mixes
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk trace format is one record per line, Ramulator-style:
+//
+//	<bubbles> <hex-address> [W]
+//
+// where the optional trailing W marks a store.
+
+// Write emits n records from gen.
+func Write(w io.Writer, gen Generator, n int) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < n; i++ {
+		r := gen.Next()
+		if r.Write {
+			if _, err := fmt.Fprintf(bw, "%d 0x%x W\n", r.Bubbles, r.Addr); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0x%x\n", r.Bubbles, r.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads every record from r.
+func Parse(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'bubbles addr [W]', got %q", line, text)
+		}
+		bubbles, err := strconv.Atoi(fields[0])
+		if err != nil || bubbles < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad bubble count %q", line, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", line, fields[1])
+		}
+		rec := Record{Bubbles: bubbles, Addr: addr}
+		if len(fields) == 3 {
+			if fields[2] != "W" {
+				return nil, fmt.Errorf("trace: line %d: bad marker %q", line, fields[2])
+			}
+			rec.Write = true
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return recs, nil
+}
+
+// Replay is a Generator that loops over a fixed record slice (e.g. a parsed
+// trace file), repeating from the start when exhausted — matching how the
+// simulator replays finite traces until the instruction budget is met.
+type Replay struct {
+	Records []Record
+	pos     int
+}
+
+// Next implements Generator.
+func (p *Replay) Next() Record {
+	r := p.Records[p.pos]
+	p.pos++
+	if p.pos == len(p.Records) {
+		p.pos = 0
+	}
+	return r
+}

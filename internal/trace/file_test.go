@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	app, _ := ByName("mcf")
+	var buf bytes.Buffer
+	if err := Write(&buf, app.Gen(3), 200); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("parsed %d records, want 200", len(recs))
+	}
+	// Re-generate and compare.
+	g := app.Gen(3)
+	for i, r := range recs {
+		if want := g.Next(); r != want {
+			t.Fatalf("record %d: %+v != %+v", i, r, want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	in := "# comment\n3 0x1000\n0 0xff W\n\n12 0xABC\n"
+	recs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Bubbles: 3, Addr: 0x1000},
+		{Bubbles: 0, Addr: 0xff, Write: true},
+		{Bubbles: 12, Addr: 0xabc},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d: %+v != %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"x 0x10",         // bad bubbles
+		"-1 0x10",        // negative bubbles
+		"1 zz",           // bad address
+		"1 0x10 X",       // bad marker
+		"1 0x10 W extra", // too many fields
+		"justone",        // too few fields
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) must fail", in)
+		}
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	p := &Replay{Records: []Record{{Bubbles: 1, Addr: 10}, {Bubbles: 2, Addr: 20}}}
+	seq := []uint64{10, 20, 10, 20, 10}
+	for i, want := range seq {
+		if got := p.Next().Addr; got != want {
+			t.Fatalf("step %d: addr %d, want %d", i, got, want)
+		}
+	}
+}

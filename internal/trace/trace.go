@@ -1,0 +1,202 @@
+// Package trace provides the workload side of the simulator: synthetic
+// trace generators standing in for the paper's Pin-collected SPEC CPU2006 /
+// TPC / STREAM / MediaBench traces (see DESIGN.md for the substitution
+// rationale), plus the multi-programmed mix construction of Section 7.
+//
+// A trace is a stream of records, each representing a number of non-memory
+// instructions ("bubbles") followed by one memory instruction, the format
+// used by Ramulator's trace-driven CPU model.
+package trace
+
+import "math/rand"
+
+// Record is one trace entry: Bubbles non-memory instructions followed by a
+// single memory access (total Bubbles+1 instructions).
+type Record struct {
+	Bubbles int
+	Addr    uint64 // virtual byte address
+	Write   bool
+}
+
+// Generator produces an infinite instruction trace.
+type Generator interface {
+	Next() Record
+}
+
+// Pattern selects the access pattern of a synthetic application.
+type Pattern int
+
+// Access patterns.
+const (
+	// Seq streams sequentially through the working set (STREAM-like:
+	// maximal row-buffer locality).
+	Seq Pattern = iota
+	// Rand touches uniform-random lines (pointer chasing: minimal
+	// locality and minimal row reuse).
+	Rand
+	// Zipf visits row-sized regions with a Zipf popularity distribution,
+	// bursting a few lines per visit. Hot rows are re-activated again and
+	// again — the in-DRAM locality CROW-cache exploits.
+	Zipf
+	// Tile sweeps a small tile repeatedly before advancing (blocked
+	// kernels: high reuse at both cache and row granularity).
+	Tile
+)
+
+// Spec parameterizes a synthetic application.
+type Spec struct {
+	Pattern Pattern
+	// WSS is the working-set size in bytes; relative to the 8 MiB LLC it
+	// determines the miss rate and therefore MPKI.
+	WSS int64
+	// Bubbles is the number of non-memory instructions per memory
+	// instruction; with the miss rate it sets memory intensity.
+	Bubbles int
+	// WriteFrac is the fraction of memory accesses that are stores.
+	WriteFrac float64
+	// Burst is the number of consecutive lines accessed per region visit
+	// (row-buffer locality), for Zipf and Rand patterns.
+	Burst int
+	// ZipfS is the Zipf skew (>1) for the Zipf pattern.
+	ZipfS float64
+	// TileBytes is the tile size for the Tile pattern (default 64 KiB).
+	TileBytes uint64
+	// Streams is the number of concurrent sequential streams for the Seq
+	// pattern (default 1). Interleaved streams conflict in DRAM banks,
+	// closing and re-opening each other's rows — the reuse CROW-cache
+	// exploits in streaming kernels with several operand arrays.
+	Streams int
+	// Revisit is the probability that a Zipf or Rand region visit
+	// returns to one of the last few regions instead of drawing a fresh
+	// one (short-term row reuse of pointer-chasing codes).
+	Revisit float64
+}
+
+type generator struct {
+	spec Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	pos       uint64 // sequential cursor
+	regionPos uint64 // current region base
+	burstLeft int
+
+	streams   []uint64 // per-stream cursors for Seq
+	curStream int
+
+	recent []uint64 // recently visited region bases (for Revisit)
+
+	tilePos, tileBase uint64
+	tileSweeps        int
+}
+
+const (
+	lineBytes   = 64
+	regionBytes = 8 * 1024 // one DRAM row
+	tileRepeats = 8
+)
+
+// New builds a deterministic generator for the spec with the given seed.
+func New(spec Spec, seed int64) Generator {
+	g := &generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if spec.Burst <= 0 {
+		g.spec.Burst = 1
+	}
+	if spec.TileBytes == 0 {
+		g.spec.TileBytes = 64 * 1024
+	}
+	if spec.Streams <= 0 {
+		g.spec.Streams = 1
+	}
+	if spec.Pattern == Seq {
+		g.streams = make([]uint64, g.spec.Streams)
+		for i := range g.streams {
+			g.streams[i] = uint64(i) * uint64(spec.WSS) / uint64(g.spec.Streams)
+		}
+		if spec.Burst <= 1 {
+			g.spec.Burst = 16
+		}
+	}
+	if spec.Pattern == Zipf {
+		regions := uint64(spec.WSS / regionBytes)
+		if regions < 2 {
+			regions = 2
+		}
+		s := spec.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		g.zipf = rand.NewZipf(g.rng, s, 1, regions-1)
+	}
+	return g
+}
+
+func (g *generator) Next() Record {
+	r := Record{
+		Bubbles: g.spec.Bubbles,
+		Write:   g.rng.Float64() < g.spec.WriteFrac,
+	}
+	wss := uint64(g.spec.WSS)
+	switch g.spec.Pattern {
+	case Seq:
+		if g.burstLeft == 0 {
+			g.curStream = (g.curStream + 1) % g.spec.Streams
+			g.burstLeft = g.spec.Burst
+		}
+		r.Addr = g.streams[g.curStream] % wss
+		g.streams[g.curStream] += lineBytes
+		g.burstLeft--
+	case Rand:
+		if g.burstLeft == 0 {
+			g.regionPos = g.pickRegion(func() uint64 {
+				return (g.rng.Uint64() % (wss / regionBytes)) * regionBytes
+			})
+			g.burstLeft = g.spec.Burst
+		}
+		off := uint64(g.rng.Intn(regionBytes/lineBytes)) * lineBytes
+		r.Addr = (g.regionPos + off) % wss
+		g.burstLeft--
+	case Zipf:
+		if g.burstLeft == 0 {
+			g.regionPos = g.pickRegion(func() uint64 {
+				// Spread hot regions across the address space so
+				// they land in different banks and subarrays.
+				region := g.zipf.Uint64()
+				return (region * 0x9E3779B97F4A7C15) % (wss / regionBytes) * regionBytes
+			})
+			g.burstLeft = g.spec.Burst
+		}
+		off := uint64(g.rng.Intn(regionBytes/lineBytes)) * lineBytes
+		r.Addr = g.regionPos + off
+		g.burstLeft--
+	case Tile:
+		r.Addr = g.tileBase + g.tilePos
+		g.tilePos += lineBytes
+		if g.tilePos >= g.spec.TileBytes {
+			g.tilePos = 0
+			g.tileSweeps++
+			if g.tileSweeps >= tileRepeats {
+				g.tileSweeps = 0
+				g.tileBase = (g.tileBase + g.spec.TileBytes) % wss
+			}
+		}
+	}
+	return r
+}
+
+// pickRegion returns either one of the recently visited regions (with
+// probability Revisit) or a fresh draw, and records the choice.
+func (g *generator) pickRegion(fresh func() uint64) uint64 {
+	const depth = 16
+	var region uint64
+	if len(g.recent) > 0 && g.rng.Float64() < g.spec.Revisit {
+		region = g.recent[g.rng.Intn(len(g.recent))]
+	} else {
+		region = fresh()
+	}
+	g.recent = append(g.recent, region)
+	if len(g.recent) > depth {
+		g.recent = g.recent[1:]
+	}
+	return region
+}

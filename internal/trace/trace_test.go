@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, app := range Apps {
+		a := app.Gen(42)
+		b := app.Gen(42)
+		for i := 0; i < 100; i++ {
+			ra, rb := a.Next(), b.Next()
+			if ra != rb {
+				t.Fatalf("%s: same seed diverged at record %d", app.Name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	app, _ := ByName("mcf")
+	a, b := app.Gen(1), app.Gen(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next().Addr == b.Next().Addr {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds produced %d/100 identical addresses", same)
+	}
+}
+
+// TestAddressesWithinWSS: every generated address stays inside the working
+// set, for all apps — property over the suite.
+func TestAddressesWithinWSS(t *testing.T) {
+	for _, app := range Apps {
+		g := app.Gen(7)
+		for i := 0; i < 2000; i++ {
+			r := g.Next()
+			if r.Addr >= uint64(app.Spec.WSS) {
+				t.Fatalf("%s: address %#x outside WSS %#x", app.Name, r.Addr, app.Spec.WSS)
+			}
+			if r.Bubbles != app.Spec.Bubbles {
+				t.Fatalf("%s: bubbles %d != spec %d", app.Name, r.Bubbles, app.Spec.Bubbles)
+			}
+		}
+	}
+}
+
+func TestSeqPatternIsSequential(t *testing.T) {
+	g := New(Spec{Pattern: Seq, WSS: 1 << 20, Bubbles: 1}, 1)
+	prev := g.Next().Addr
+	for i := 0; i < 100; i++ {
+		cur := g.Next().Addr
+		if cur != prev+64 && cur != 0 {
+			t.Fatalf("sequential stream broken: %#x -> %#x", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTilePatternReuses(t *testing.T) {
+	g := New(Spec{Pattern: Tile, WSS: 1 << 20, Bubbles: 1, TileBytes: 4096}, 1)
+	seen := map[uint64]int{}
+	// Two sweeps of a 64-line tile.
+	for i := 0; i < 128; i++ {
+		seen[g.Next().Addr]++
+	}
+	if len(seen) != 64 {
+		t.Errorf("two sweeps must touch exactly 64 unique lines, got %d", len(seen))
+	}
+	for a, n := range seen {
+		if n != 2 {
+			t.Errorf("line %#x visited %d times, want 2", a, n)
+		}
+	}
+}
+
+func TestZipfPatternSkew(t *testing.T) {
+	g := New(Spec{Pattern: Zipf, WSS: 64 << 20, Bubbles: 1, Burst: 1, ZipfS: 1.5}, 1)
+	regions := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		regions[g.Next().Addr/8192]++
+	}
+	max := 0
+	for _, c := range regions {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Errorf("hottest region holds %.1f%% of accesses; want a skewed distribution", 100*float64(max)/n)
+	}
+	if len(regions) < 10 {
+		t.Errorf("only %d regions touched; want a long tail", len(regions))
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := New(Spec{Pattern: Rand, WSS: 1 << 20, Bubbles: 1, WriteFrac: 0.3}, 1)
+	writes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("write fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestByNameAndClasses(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown app must error")
+	}
+	for _, c := range []Class{Low, Medium, High} {
+		apps := ByClass(c)
+		if len(apps) < 3 {
+			t.Errorf("class %v has only %d apps", c, len(apps))
+		}
+		for _, a := range apps {
+			if a.Synthetic {
+				t.Errorf("ByClass must exclude synthetic probes, got %s", a.Name)
+			}
+		}
+	}
+}
+
+func TestGroupsAndMixes(t *testing.T) {
+	if len(Groups) != 8 {
+		t.Fatalf("want 8 workload groups (Section 7), got %d", len(Groups))
+	}
+	names := map[string]bool{}
+	for _, g := range Groups {
+		names[GroupName(g)] = true
+	}
+	for _, want := range []string{"LLLL", "LLHH", "HHHH"} {
+		if !names[want] {
+			t.Errorf("paper-referenced group %s missing", want)
+		}
+	}
+	mixes := MakeMixes(Groups[2], 5, 1)
+	if len(mixes) != 5 {
+		t.Fatalf("want 5 mixes")
+	}
+	for _, m := range mixes {
+		if len(m.Apps) != 4 {
+			t.Fatalf("four-core mixes must have 4 apps")
+		}
+		classes := map[Class]int{}
+		for _, a := range m.Apps {
+			classes[a.Class]++
+		}
+		if classes[Low] != 2 || classes[High] != 2 {
+			t.Errorf("LLHH mix has wrong classes: %v", classes)
+		}
+	}
+	// Determinism.
+	again := MakeMixes(Groups[2], 5, 1)
+	for i := range mixes {
+		if mixes[i].Name != again[i].Name || mixes[i].Apps[0].Name != again[i].Apps[0].Name {
+			t.Error("MakeMixes must be deterministic per seed")
+		}
+	}
+}
+
+// TestRecordTotalInstructions: each record contributes Bubbles+1
+// instructions; the generator never emits negative bubbles.
+func TestRecordTotalInstructions(t *testing.T) {
+	f := func(pRaw uint8, seed int64) bool {
+		spec := Spec{Pattern: Pattern(pRaw % 4), WSS: 1 << 20, Bubbles: int(pRaw % 7)}
+		g := New(spec, seed)
+		for i := 0; i < 50; i++ {
+			if g.Next().Bubbles != spec.Bubbles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
