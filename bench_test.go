@@ -27,6 +27,22 @@ func quickRunner() *exp.Runner {
 	return runner
 }
 
+// bench loops an experiment b.N times on the shared runner, failing the
+// benchmark on any simulation error, and returns the last result.
+func bench[T any](b *testing.B, fn func(*exp.Runner) (T, error)) T {
+	b.Helper()
+	r := quickRunner()
+	var res T
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = fn(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
 func BenchmarkTable1Timings(b *testing.B) {
 	var t exp.Table
 	for i := 0; i < b.N; i++ {
@@ -66,141 +82,86 @@ func BenchmarkSection6Overhead(b *testing.B) {
 }
 
 func BenchmarkFig8SingleCore(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig8Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig8(r)
-	}
+	res := bench(b, exp.Fig8)
 	b.ReportMetric(100*res.AvgSpeedup[8], "speedup_crow8_%")
 	b.ReportMetric(100*res.AvgHitRate[8], "hitrate_crow8_%")
 	b.ReportMetric(100*res.AvgIdeal, "speedup_ideal_%")
 }
 
 func BenchmarkFig9MultiCore(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig9Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig9(r)
-	}
+	res := bench(b, exp.Fig9)
 	b.ReportMetric(100*res.Avg("CROW-8"), "ws_crow8_%")
 	b.ReportMetric(100*res.Stats["HHHH"]["CROW-8"].Avg, "ws_hhhh_%")
 }
 
 func BenchmarkFig10Energy(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig10Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig10(r)
-	}
+	res := bench(b, exp.Fig10)
 	b.ReportMetric(100*(1-res.SingleCore), "energy_saved_1core_%")
 	b.ReportMetric(100*(1-res.FourCore), "energy_saved_4core_%")
 }
 
 func BenchmarkFig11Baselines(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig11Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig11(r)
-	}
+	res := bench(b, exp.Fig11)
 	b.ReportMetric(100*res.Row("CROW-8").Speedup, "crow8_%")
 	b.ReportMetric(100*res.Row("TL-DRAM-8").Speedup, "tldram8_%")
 	b.ReportMetric(100*res.Row("SALP-128-O").Speedup, "salp128o_%")
 }
 
 func BenchmarkFig12Prefetcher(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig12Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig12(r)
-	}
+	res := bench(b, exp.Fig12)
 	b.ReportMetric(100*res.AvgGain, "crow_gain_over_pf_%")
 }
 
 func BenchmarkFig13CrowRef(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig13Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig13(r)
-	}
+	res := bench(b, exp.Fig13)
 	p := res.Point(64)
 	b.ReportMetric(100*p.SingleSpeedup, "speedup64_1core_%")
 	b.ReportMetric(100*(1-p.SingleEnergy), "energy_saved64_%")
 }
 
 func BenchmarkFig14Combined(b *testing.B) {
-	r := quickRunner()
-	var res exp.Fig14Result
-	for i := 0; i < b.N; i++ {
-		res = exp.Fig14(r)
-	}
+	res := bench(b, exp.Fig14)
 	cell := res.Cells[8]["cache+ref"]
 	b.ReportMetric(100*cell.Speedup, "ws_cacheref_8mib_%")
 	b.ReportMetric(100*(1-cell.Energy), "energy_saved_%")
 }
 
 func BenchmarkAblationTableSharing(b *testing.B) {
-	r := quickRunner()
-	var res exp.SharingResult
-	for i := 0; i < b.N; i++ {
-		res = exp.TableSharing(r)
-	}
+	res := bench(b, exp.TableSharing)
 	b.ReportMetric(100*res.Point(1).Speedup, "dedicated_%")
 	b.ReportMetric(100*res.Point(4).Speedup, "shared4_%")
 }
 
 func BenchmarkAblationRestorePolicy(b *testing.B) {
-	r := quickRunner()
-	var res exp.RestoreResult
-	for i := 0; i < b.N; i++ {
-		res = exp.RestorePolicy(r)
-	}
+	res := bench(b, exp.RestorePolicy)
 	b.ReportMetric(100*res.Lazy, "lazy_%")
 	b.ReportMetric(100*res.Eager, "eager_%")
 	b.ReportMetric(100*res.FullRestore, "full_%")
 }
 
 func BenchmarkRefComparison(b *testing.B) {
-	r := quickRunner()
-	var res exp.RefCompareResult
-	for i := 0; i < b.N; i++ {
-		res = exp.RefComparison(r)
-	}
+	res := bench(b, exp.RefComparison)
 	b.ReportMetric(100*res.Row("crow-ref").Speedup, "crowref_%")
 	b.ReportMetric(100*res.Row("raidr").Speedup, "raidr_%")
 }
 
 func BenchmarkHammerMitigation(b *testing.B) {
-	r := quickRunner()
-	var res exp.HammerResult
-	for i := 0; i < b.N; i++ {
-		res = exp.HammerAttack(r)
-	}
+	res := bench(b, exp.HammerAttack)
 	b.ReportMetric(float64(res.Remaps), "victim_remaps")
 }
 
 func BenchmarkSchedulerSensitivity(b *testing.B) {
-	r := quickRunner()
-	for i := 0; i < b.N; i++ {
-		_ = exp.SchedulerSensitivity(r)
-	}
+	_ = bench(b, exp.SchedulerSensitivity)
 }
 
 func BenchmarkLatencyComparison(b *testing.B) {
-	r := quickRunner()
-	var res exp.LatCompareResult
-	for i := 0; i < b.N; i++ {
-		res = exp.LatencyComparison(r)
-	}
+	res := bench(b, exp.LatencyComparison)
 	b.ReportMetric(100*res.Row("crow-cache (CROW-8)").Speedup, "crow_%")
 	b.ReportMetric(100*res.Row("chargecache").Speedup, "chargecache_%")
 }
 
 func BenchmarkRefreshModes(b *testing.B) {
-	r := quickRunner()
-	var res exp.RefreshModeResult
-	for i := 0; i < b.N; i++ {
-		res = exp.RefreshModes(r)
-	}
+	res := bench(b, exp.RefreshModes)
 	b.ReportMetric(100*res.Row("REFpb").Speedup, "refpb_%")
 	b.ReportMetric(100*res.Row("REFab + crow-ref").Speedup, "crowref_%")
 }

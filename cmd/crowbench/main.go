@@ -5,21 +5,32 @@
 //
 //	crowbench -exp table1,fig5,fig7          # analytic experiments (instant)
 //	crowbench -exp fig8 -insts 1000000        # scale up a simulation figure
-//	crowbench -exp all                        # everything
+//	crowbench -exp all -j 8                   # everything, 8 runs in flight
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"crowdram/internal/engine"
 	"crowdram/internal/exp"
+	"crowdram/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		which   = flag.String("exp", "all", "comma-separated experiments: table1,fig5..fig14,weakprob,overhead,sharing,restore,refcompare,latcompare,refreshmodes,hammer,sched, or 'all' / 'analytic' / 'sim' / 'ablations'")
 		asJSON  = flag.Bool("json", false, "emit results as a JSON array of tables")
@@ -27,6 +38,8 @@ func main() {
 		mixes   = flag.Int("mixes", 3, "four-core mixes per workload group")
 		apps    = flag.String("apps", "", "comma-separated subset of single-core apps (default: full suite)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		jobs    = flag.Int("j", 1, "max simulations in flight (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
 		verbose = flag.Bool("v", false, "print progress per simulation run")
 	)
 	flag.Parse()
@@ -34,77 +47,52 @@ func main() {
 	scale := exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed}
 	if *apps != "" {
 		scale.SingleApps = strings.Split(*apps, ",")
-	}
-	r := exp.NewRunner(scale)
-	if *verbose {
-		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		for _, name := range scale.SingleApps {
+			if _, err := trace.ByName(name); err != nil {
+				return err
+			}
+		}
 	}
 
-	analytic := []string{"table1", "fig5", "fig6", "fig7", "weakprob", "overhead"}
-	simulated := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
-	ablations := []string{"sharing", "restore", "refcompare", "latcompare", "refreshmodes", "hammer", "sched"}
-	var selected []string
-	switch *which {
-	case "all":
-		selected = append(append(analytic, simulated...), ablations...)
-	case "analytic":
-		selected = analytic
-	case "sim":
-		selected = simulated
-	case "ablations":
-		selected = ablations
-	default:
-		selected = strings.Split(*which, ",")
+	sel, err := exp.Select(strings.Split(*which, ","))
+	if err != nil {
+		return err
+	}
+
+	// Ctrl-C cancels in-flight simulations instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ropts := []exp.RunnerOption{exp.Workers(*jobs), exp.WithContext(ctx)}
+	if *timeout > 0 {
+		ropts = append(ropts, exp.Timeout(*timeout))
+	}
+	if *verbose {
+		ropts = append(ropts, exp.Observe(progress))
+	}
+	r := exp.NewRunner(scale, ropts...)
+
+	// Plan/execute first: every simulation any selected experiment needs
+	// runs here, concurrently up to -j, deduplicated across experiments.
+	// The reduce loop below then assembles tables from the warm cache.
+	plan := exp.PlanAll(r, sel)
+	if len(plan) > 0 && *verbose {
+		fmt.Fprintf(os.Stderr, "  [%d planned runs, %d workers]\n", len(plan), r.Workers())
+	}
+	start := time.Now()
+	if err := r.Execute(plan); err != nil {
+		return err
+	}
+	if len(plan) > 0 && *verbose {
+		fmt.Fprintf(os.Stderr, "  [plan executed in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	var collected []exp.Table
-	for _, name := range selected {
+	for _, e := range sel {
 		start := time.Now()
-		var t exp.Table
-		switch name {
-		case "table1":
-			t = exp.Table1()
-		case "fig5":
-			t = exp.Fig5()
-		case "fig6":
-			t = exp.Fig6()
-		case "fig7":
-			t = exp.Fig7()
-		case "weakprob":
-			t = exp.WeakProb()
-		case "overhead":
-			t = exp.Overhead()
-		case "fig8":
-			t = exp.Fig8(r).Table()
-		case "fig9":
-			t = exp.Fig9(r).Table()
-		case "fig10":
-			t = exp.Fig10(r).Table()
-		case "fig11":
-			t = exp.Fig11(r).Table()
-		case "fig12":
-			t = exp.Fig12(r).Table()
-		case "fig13":
-			t = exp.Fig13(r).Table()
-		case "fig14":
-			t = exp.Fig14(r).Table()
-		case "sharing":
-			t = exp.TableSharing(r).Table()
-		case "restore":
-			t = exp.RestorePolicy(r).Table()
-		case "refcompare":
-			t = exp.RefComparison(r).Table()
-		case "latcompare":
-			t = exp.LatencyComparison(r).Table()
-		case "refreshmodes":
-			t = exp.RefreshModes(r).Table()
-		case "hammer":
-			t = exp.HammerAttack(r).Table()
-		case "sched":
-			t = exp.SchedulerSensitivity(r).Table()
-		default:
-			fmt.Fprintf(os.Stderr, "crowbench: unknown experiment %q\n", name)
-			os.Exit(1)
+		t, err := e.Table(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 		if *asJSON {
 			collected = append(collected, t)
@@ -112,15 +100,31 @@ func main() {
 			fmt.Println(t)
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "  [%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "  [%s assembled in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(collected); err != nil {
-			fmt.Fprintln(os.Stderr, "crowbench:", err)
-			os.Exit(1)
+			return err
 		}
+	}
+	return nil
+}
+
+// progress renders engine events as one stderr line each.
+func progress(e engine.Event) {
+	switch e.Type {
+	case engine.EventStarted:
+		fmt.Fprintf(os.Stderr, "  run   %s\n", e.Label)
+	case engine.EventFinished:
+		status := fmt.Sprintf("in %v", e.Duration.Round(time.Millisecond))
+		if e.Err != nil {
+			status = "FAILED: " + e.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "  done  %s %s (%d pending)\n", e.Label, status, e.Pending)
+	case engine.EventCacheHit:
+		fmt.Fprintf(os.Stderr, "  hit   %s\n", e.Label)
 	}
 }

@@ -4,18 +4,22 @@
 //
 //	crowsim -mech crow-cache -workloads mcf
 //	crowsim -mech crow-cache+ref -workloads mcf,lbm,gcc,povray -density 64
-//	crowsim -mech tl-dram -workloads soplex -compare
+//	crowsim -mech tl-dram -workloads soplex -compare -j 4
 //	crowsim -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"crowdram/crow"
+	"crowdram/internal/engine"
 )
 
 func main() {
@@ -38,6 +42,9 @@ func main() {
 		perBank  = flag.Bool("refpb", false, "use LPDDR4 per-bank refresh")
 		postpone = flag.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
 		compare  = flag.Bool("compare", false, "also run the baseline and report speedup/energy savings")
+		jobs     = flag.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		verbose  = flag.Bool("v", false, "print progress per simulation run")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
@@ -68,8 +75,12 @@ func main() {
 		RefreshPostpone: *postpone,
 	}
 
+	// Ctrl-C cancels in-flight simulations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *compare {
-		c, err := crow.Compare(opts)
+		c, err := compareParallel(ctx, opts, *jobs, *timeout, *verbose)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,7 +95,12 @@ func main() {
 		return
 	}
 
-	rep, err := crow.Run(opts)
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if *timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
+	rep, err := crow.RunContext(runCtx, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,6 +109,60 @@ func main() {
 		return
 	}
 	printReport(rep)
+}
+
+// compareParallel runs the mechanism, baseline, and (for multi-core options)
+// alone-run simulations behind crow.Compare concurrently on an engine pool,
+// then assembles the comparison from the memoized results.
+func compareParallel(ctx context.Context, opts crow.Options, jobs int, timeout time.Duration, verbose bool) (crow.Comparison, error) {
+	popts := []engine.Option[crow.Report]{}
+	if timeout > 0 {
+		popts = append(popts, engine.WithTimeout[crow.Report](timeout))
+	}
+	if verbose {
+		popts = append(popts, engine.WithObserver[crow.Report](progress))
+	}
+	pool := engine.New(jobs, popts...)
+
+	runs := crow.CompareRuns(opts)
+	do := func(o crow.Options) (crow.Report, error) {
+		label := fmt.Sprintf("%s on %s", o.Mechanism, strings.Join(o.Workloads, "+"))
+		return pool.Do(ctx, o.Key(), label, func(ctx context.Context) (crow.Report, error) {
+			return crow.RunContext(ctx, o)
+		})
+	}
+	if err := engine.All(ctx, pool, runs,
+		func(o crow.Options) (string, string, func(context.Context) (crow.Report, error)) {
+			label := fmt.Sprintf("%s on %s", o.Mechanism, strings.Join(o.Workloads, "+"))
+			return o.Key(), label, func(ctx context.Context) (crow.Report, error) {
+				return crow.RunContext(ctx, o)
+			}
+		}); err != nil {
+		return crow.Comparison{}, err
+	}
+	reps := make([]crow.Report, len(runs))
+	for i, o := range runs {
+		rep, err := do(o) // cache hit: All already ran it
+		if err != nil {
+			return crow.Comparison{}, err
+		}
+		reps[i] = rep
+	}
+	return crow.CompareFrom(opts, reps)
+}
+
+// progress renders engine events as one stderr line each.
+func progress(e engine.Event) {
+	switch e.Type {
+	case engine.EventStarted:
+		fmt.Fprintf(os.Stderr, "  run   %s\n", e.Label)
+	case engine.EventFinished:
+		status := fmt.Sprintf("in %v", e.Duration.Round(time.Millisecond))
+		if e.Err != nil {
+			status = "FAILED: " + e.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "  done  %s %s\n", e.Label, status)
+	}
 }
 
 func printReport(r crow.Report) {

@@ -18,6 +18,8 @@
 package crow
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -192,6 +194,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Key returns a canonical, collision-safe identity for the simulation these
+// options request: two Options values produce the same key if and only if
+// they configure the same run (after defaulting). It is the memoization key
+// of the experiment engine.
+//
+// The key is the JSON encoding of the fully-defaulted struct, which covers
+// every exported field — including fields added in the future — and
+// delimits slice elements unambiguously, unlike the hand-formatted %v key
+// it replaces (which omitted fields such as TraceFiles and could not tell
+// {"a b"} from {"a","b"}).
+func (o Options) Key() string {
+	b, err := json.Marshal(o.withDefaults())
+	if err != nil {
+		// Options contains only marshalable field types; keep it so.
+		panic("crow: options not encodable: " + err.Error())
+	}
+	return string(b)
+}
+
 // Report is the outcome of one simulation.
 type Report struct {
 	Mechanism Mechanism
@@ -243,6 +264,14 @@ func Workloads() []string { return trace.Names(trace.Apps) }
 
 // Run executes one simulation.
 func Run(o Options) (Report, error) {
+	return RunContext(context.Background(), o)
+}
+
+// RunContext executes one simulation under a context: the simulation loop
+// polls ctx and abandons the run with its error once canceled or past its
+// deadline, so callers (the experiment engine, the CLIs) can enforce
+// per-run timeouts and interrupt whole sweeps.
+func RunContext(ctx context.Context, o Options) (Report, error) {
 	o = o.withDefaults()
 	cfg, mech, err := build(o)
 	if err != nil {
@@ -252,7 +281,10 @@ func Run(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res := sim.New(cfg, mech, gens).Run()
+	res, err := sim.New(cfg, mech, gens).RunContext(ctx)
+	if err != nil {
+		return Report{}, fmt.Errorf("crow: %s on %v: %w", o.Mechanism, o.Workloads, err)
+	}
 	return report(o, cfg, mech, res), nil
 }
 
@@ -270,31 +302,62 @@ type Comparison struct {
 
 // Compare runs the baseline and the given configuration on the same
 // workloads and reports weighted speedup and relative DRAM energy.
+//
+// It is the sequential composition of CompareRuns and CompareFrom; callers
+// with an execution engine run CompareRuns' simulations concurrently and
+// assemble the result themselves.
 func Compare(o Options) (Comparison, error) {
+	runs := CompareRuns(o)
+	reps := make([]Report, len(runs))
+	for i, ro := range runs {
+		rep, err := Run(ro)
+		if err != nil {
+			return Comparison{}, err
+		}
+		reps[i] = rep
+	}
+	return CompareFrom(o, reps)
+}
+
+// CompareRuns declares the independent simulations Compare needs, in order:
+// the baseline on the full workload mix, the mechanism itself, and — for
+// multi-core mixes — one alone-run baseline per application (the
+// weighted-speedup denominators [104]). Every run is independent of the
+// others, so they parallelize freely.
+func CompareRuns(o Options) []Options {
 	o = o.withDefaults()
 	baseOpts := o
 	baseOpts.Mechanism = Baseline
-	base, err := Run(baseOpts)
-	if err != nil {
-		return Comparison{}, err
-	}
-	mech, err := Run(o)
-	if err != nil {
-		return Comparison{}, err
-	}
-	alone := make([]float64, len(o.Workloads))
-	if len(o.Workloads) == 1 {
-		alone[0] = base.IPC[0]
-	} else {
+	runs := []Options{baseOpts, o}
+	if len(o.Workloads) > 1 {
 		for i, w := range o.Workloads {
 			aOpts := baseOpts
 			aOpts.Workloads = []string{w}
 			aOpts.Seed = o.Seed + int64(i)
-			ar, err := Run(aOpts)
-			if err != nil {
-				return Comparison{}, err
-			}
-			alone[i] = ar.IPC[0]
+			runs = append(runs, aOpts)
+		}
+	}
+	return runs
+}
+
+// CompareFrom assembles a Comparison from completed reports for
+// CompareRuns(o), given in the same order.
+func CompareFrom(o Options, reps []Report) (Comparison, error) {
+	o = o.withDefaults()
+	want := 2
+	if len(o.Workloads) > 1 {
+		want += len(o.Workloads)
+	}
+	if len(reps) != want {
+		return Comparison{}, fmt.Errorf("crow: CompareFrom wants %d reports (see CompareRuns), got %d", want, len(reps))
+	}
+	base, mech := reps[0], reps[1]
+	alone := make([]float64, len(o.Workloads))
+	if len(o.Workloads) == 1 {
+		alone[0] = base.IPC[0]
+	} else {
+		for i := range o.Workloads {
+			alone[i] = reps[2+i].IPC[0]
 		}
 	}
 	wsBase := metrics.WeightedSpeedup(base.IPC, alone)

@@ -3,6 +3,8 @@ package crow
 import (
 	"math"
 	"os"
+	"reflect"
+	"sync"
 	"testing"
 
 	"crowdram/internal/trace"
@@ -196,5 +198,45 @@ func TestTraceFileInput(t *testing.T) {
 	}
 	if _, err := Run(Options{TraceFiles: []string{path, path, path, path, path}}); err == nil {
 		t.Error("more than 4 trace files must error")
+	}
+}
+
+// TestConcurrentRunsDeterministic runs the same simulations sequentially and
+// then concurrently (4 goroutines, the engine's minimum interesting worker
+// count) and requires identical reports: simulations share no mutable state,
+// so scheduling must not leak into results. Run under -race in CI.
+func TestConcurrentRunsDeterministic(t *testing.T) {
+	opts := []Options{
+		fast(Options{}),
+		fast(Options{Mechanism: Cache, Workloads: []string{"soplex"}}),
+		fast(Options{Mechanism: Ref, DensityGbit: 64, Workloads: []string{"lbm"}}),
+		fast(Options{Mechanism: CacheRef, Workloads: []string{"mcf", "lbm"}}),
+	}
+	want := make([]Report, len(opts))
+	for i, o := range opts {
+		rep, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	got := make([]Report, len(opts))
+	errs := make([]error, len(opts))
+	var wg sync.WaitGroup
+	for i, o := range opts {
+		wg.Add(1)
+		go func(i int, o Options) {
+			defer wg.Done()
+			got[i], errs[i] = Run(o)
+		}(i, o)
+	}
+	wg.Wait()
+	for i := range opts {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("run %d: concurrent report differs from sequential", i)
+		}
 	}
 }

@@ -1,0 +1,71 @@
+package crow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// perturb returns a value of the same kind as v that differs from it and
+// from the field's default, so the key must change when the field does.
+func perturb(t *testing.T, field string, v reflect.Value) reflect.Value {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.String:
+		return reflect.ValueOf("zz-perturbed").Convert(v.Type())
+	case reflect.Bool:
+		return reflect.ValueOf(true)
+	case reflect.Int, reflect.Int64:
+		return reflect.ValueOf(int64(777)).Convert(v.Type())
+	case reflect.Float64:
+		return reflect.ValueOf(77.5).Convert(v.Type())
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.String {
+			return reflect.ValueOf([]string{"zz-a", "zz-b"}).Convert(v.Type())
+		}
+	}
+	t.Fatalf("field %s: no perturbation for kind %v — extend perturb()", field, v.Kind())
+	return reflect.Value{}
+}
+
+// TestKeyDistinguishesEveryField flips every Options field, one at a time,
+// and requires the key to change. Because it enumerates fields by
+// reflection, adding a field to Options that the key failed to cover would
+// fail here — the collision class of the old hand-formatted key, which
+// omitted TraceFiles entirely.
+func TestKeyDistinguishesEveryField(t *testing.T) {
+	base := Options{Mechanism: Cache, Workloads: []string{"mcf", "lbm"}}
+	baseKey := base.Key()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		mod := base
+		mv := reflect.ValueOf(&mod).Elem().Field(i)
+		mv.Set(perturb(t, f.Name, mv))
+		if mod.Key() == baseKey {
+			t.Errorf("changing %s must change the key", f.Name)
+		}
+	}
+}
+
+func TestKeySliceDelimiting(t *testing.T) {
+	// The %v formatting of the old key could not distinguish these.
+	a := Options{Workloads: []string{"mcf lbm"}, MeasureInsts: 1000}
+	b := Options{Workloads: []string{"mcf", "lbm"}, MeasureInsts: 1000}
+	if a.Key() == b.Key() {
+		t.Error("slice element boundaries must be unambiguous in the key")
+	}
+}
+
+func TestKeyCanonicalOverDefaults(t *testing.T) {
+	// Explicitly spelling out a default must hit the same cache entry as
+	// leaving it zero.
+	a := Options{Workloads: []string{"mcf"}}
+	b := Options{Workloads: []string{"mcf"}, CopyRows: 8, DensityGbit: 8,
+		RefreshWindowMS: 64, LLCBytes: 8 << 20, Seed: 1}
+	if a.Key() != b.Key() {
+		t.Error("defaulted and explicit-default options must share a key")
+	}
+	if a.Key() != a.Key() {
+		t.Error("the key must be deterministic")
+	}
+}

@@ -1,0 +1,267 @@
+// Package engine is a bounded worker pool with deterministic memoization:
+// jobs are identified by a canonical key, executed at most once, and their
+// results are cached and shared between all callers — concurrent requests
+// for the same key coalesce onto one execution. The pool supports
+// context.Context cancellation, per-job timeouts, and a structured observer
+// stream (queued, started, finished, cache-hit) for cross-layer progress
+// reporting.
+//
+// The pool is value-generic so higher layers (internal/exp, the CLIs) can
+// memoize their own result types; it knows nothing about simulations.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// EventType classifies observer events.
+type EventType int
+
+// Observer event types, in lifecycle order.
+const (
+	// EventQueued fires when a fresh job enters the pool and is waiting
+	// for a worker slot.
+	EventQueued EventType = iota
+	// EventStarted fires when a job acquires a worker slot and begins
+	// executing.
+	EventStarted
+	// EventFinished fires when a job's function returns (Err carries its
+	// failure, if any); Duration is the execution time.
+	EventFinished
+	// EventCacheHit fires when a request is satisfied by a completed (or
+	// in-flight, once it completes) job with the same key.
+	EventCacheHit
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventQueued:
+		return "queued"
+	case EventStarted:
+		return "started"
+	case EventFinished:
+		return "finished"
+	case EventCacheHit:
+		return "cache-hit"
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// Event is one structured progress record.
+type Event struct {
+	Type  EventType
+	Key   string
+	Label string // human-readable job description
+	// Duration is the job's execution time (EventFinished only).
+	Duration time.Duration
+	// Err is the job's failure (EventFinished only).
+	Err error
+	// Pending is the number of jobs queued or running when the event
+	// fired, for "N left" progress displays.
+	Pending int
+}
+
+// Observer receives events. Implementations need no internal locking: the
+// pool serializes event delivery.
+type Observer func(Event)
+
+// Pool is a memoizing bounded worker pool. The zero value is not usable;
+// call New.
+type Pool[V any] struct {
+	workers int
+	timeout time.Duration
+
+	slots chan struct{}
+
+	obsMu sync.Mutex
+	obs   Observer
+
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	pending int
+}
+
+// entry is one memoized job: done closes when the result is available.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Option configures a Pool.
+type Option[V any] func(*Pool[V])
+
+// WithTimeout bounds each job's execution time; a job whose context expires
+// fails with context.DeadlineExceeded (the job function must honor its
+// context). Zero means no per-job timeout.
+func WithTimeout[V any](d time.Duration) Option[V] {
+	return func(p *Pool[V]) { p.timeout = d }
+}
+
+// WithObserver attaches a structured progress observer.
+func WithObserver[V any](obs Observer) Option[V] {
+	return func(p *Pool[V]) { p.obs = obs }
+}
+
+// New builds a pool running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New[V any](workers int, opts ...Option[V]) *Pool[V] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool[V]{
+		workers: workers,
+		slots:   make(chan struct{}, workers),
+		entries: make(map[string]*entry[V]),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool[V]) Workers() int { return p.workers }
+
+// emit delivers an event under a lock so observers need none of their own.
+func (p *Pool[V]) emit(e Event) {
+	if p.obs == nil {
+		return
+	}
+	p.obsMu.Lock()
+	defer p.obsMu.Unlock()
+	p.obs(e)
+}
+
+func (p *Pool[V]) pendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Do executes fn for key, or returns the memoized result of a previous or
+// in-flight execution with the same key. Concurrent calls with equal keys
+// coalesce: exactly one runs fn, the rest wait for its result. Execution is
+// bounded by the pool's worker count; ctx cancels waiting and (for
+// context-honoring fns) execution.
+func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Context) (V, error)) (V, error) {
+	p.mu.Lock()
+	if e, ok := p.entries[key]; ok {
+		p.mu.Unlock()
+		select {
+		case <-e.done:
+			p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount()})
+			return e.val, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	p.entries[key] = e
+	p.pending++
+	p.mu.Unlock()
+
+	p.emit(Event{Type: EventQueued, Key: key, Label: label, Pending: p.pendingCount()})
+
+	// Acquire a worker slot (or give up on cancellation: forget the
+	// entry so a later call can retry).
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.abandon(key, e, ctx.Err())
+		var zero V
+		return zero, ctx.Err()
+	}
+
+	p.emit(Event{Type: EventStarted, Key: key, Label: label, Pending: p.pendingCount()})
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if p.timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, p.timeout)
+	}
+	start := time.Now()
+	val, err := fn(runCtx)
+	dur := time.Since(start)
+	cancel()
+	<-p.slots
+
+	p.mu.Lock()
+	e.val, e.err = val, err
+	p.pending--
+	if err != nil {
+		// Failed jobs are not memoized as successes, but current
+		// waiters still receive the error; a later Do retries.
+		delete(p.entries, key)
+	}
+	p.mu.Unlock()
+	close(e.done)
+
+	p.emit(Event{Type: EventFinished, Key: key, Label: label, Duration: dur, Err: err, Pending: p.pendingCount()})
+	return val, err
+}
+
+// abandon removes a never-started entry and wakes any coalesced waiters
+// with the cancellation error.
+func (p *Pool[V]) abandon(key string, e *entry[V], err error) {
+	p.mu.Lock()
+	e.err = err
+	p.pending--
+	delete(p.entries, key)
+	p.mu.Unlock()
+	close(e.done)
+}
+
+// Get returns the memoized result for key, if a completed execution exists.
+func (p *Pool[V]) Get(key string) (V, bool) {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	p.mu.Unlock()
+	var zero V
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}
+
+// Len returns the number of memoized (completed or in-flight) entries.
+func (p *Pool[V]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// All runs one Do per item concurrently (each bounded by the worker pool)
+// and waits for all of them; it returns the first error encountered. It is
+// the pool's "execute a declared plan" entry point: items sharing a key run
+// once.
+func All[V, T any](ctx context.Context, p *Pool[V], items []T,
+	job func(T) (key, label string, fn func(context.Context) (V, error))) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(items))
+	for _, it := range items {
+		key, label, fn := job(it)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Do(ctx, key, label, fn); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}

@@ -19,17 +19,38 @@ type SharingPoint struct {
 // SharingResult holds the CROW-table sharing ablation.
 type SharingResult struct{ Points []SharingPoint }
 
+var sharingGroups = []int{1, 2, 4, 8}
+
+// TableSharingPlan declares the sharing ablation's runs.
+func TableSharingPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, share := range sharingGroups {
+		for _, app := range r.singleApps() {
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}},
+				crow.Options{Mechanism: crow.Cache, TableShareGroup: share, Workloads: []string{app.Name}})
+		}
+	}
+	return plan
+}
+
 // TableSharing evaluates the Section 6.1 storage optimization: sharing one
 // CROW-table entry set across 1/2/4/8 subarrays. The paper reports the
 // average single-core speedup dropping from 7.1 % to 6.1 % when sharing
 // across 4 subarrays (a ~4x storage reduction).
-func TableSharing(r *Runner) SharingResult {
+func TableSharing(r *Runner) (SharingResult, error) {
 	var res SharingResult
-	for _, share := range []int{1, 2, 4, 8} {
+	for _, share := range sharingGroups {
 		var sp []float64
 		for _, app := range r.singleApps() {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
-			rep := r.Run(crow.Options{Mechanism: crow.Cache, TableShareGroup: share, Workloads: []string{app.Name}})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			if err != nil {
+				return SharingResult{}, err
+			}
+			rep, err := r.Run(crow.Options{Mechanism: crow.Cache, TableShareGroup: share, Workloads: []string{app.Name}})
+			if err != nil {
+				return SharingResult{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 		}
 		res.Points = append(res.Points, SharingPoint{
@@ -38,7 +59,7 @@ func TableSharing(r *Runner) SharingResult {
 			StorageKB:  float64(core.SharedStorageBits(dram.Std(8), 1, share)) / 8 / 1000,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Point returns the design point with the given sharing factor.
@@ -81,18 +102,44 @@ type RestoreResult struct {
 	RestoreOpsEager int64
 }
 
+// RestorePolicyPlan declares the restore-policy ablation's runs.
+func RestorePolicyPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, app := range r.singleApps() {
+		w := []string{app.Name}
+		plan = append(plan,
+			crow.Options{Mechanism: crow.Baseline, Workloads: w},
+			crow.Options{Mechanism: crow.Cache, Workloads: w},
+			crow.Options{Mechanism: crow.Cache, EagerRestore: true, Workloads: w},
+			crow.Options{Mechanism: crow.Cache, FullRestore: true, Workloads: w})
+	}
+	return plan
+}
+
 // RestorePolicy evaluates the restoration/eviction policy space: the value
 // of early-terminated restoration (Section 4.1.3) and of deferring victim
 // restoration off the critical path (Section 4.1.4).
-func RestorePolicy(r *Runner) RestoreResult {
+func RestorePolicy(r *Runner) (RestoreResult, error) {
 	var res RestoreResult
 	var lazy, eager, full []float64
 	for _, app := range r.singleApps() {
 		w := []string{app.Name}
-		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w})
-		l := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w})
-		e := r.Run(crow.Options{Mechanism: crow.Cache, EagerRestore: true, Workloads: w})
-		f := r.Run(crow.Options{Mechanism: crow.Cache, FullRestore: true, Workloads: w})
+		base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w})
+		if err != nil {
+			return RestoreResult{}, err
+		}
+		l, err := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w})
+		if err != nil {
+			return RestoreResult{}, err
+		}
+		e, err := r.Run(crow.Options{Mechanism: crow.Cache, EagerRestore: true, Workloads: w})
+		if err != nil {
+			return RestoreResult{}, err
+		}
+		f, err := r.Run(crow.Options{Mechanism: crow.Cache, FullRestore: true, Workloads: w})
+		if err != nil {
+			return RestoreResult{}, err
+		}
 		lazy = append(lazy, metrics.Speedup(l.IPC[0], base.IPC[0]))
 		eager = append(eager, metrics.Speedup(e.IPC[0], base.IPC[0]))
 		full = append(full, metrics.Speedup(f.IPC[0], base.IPC[0]))
@@ -101,7 +148,7 @@ func RestorePolicy(r *Runner) RestoreResult {
 	res.Lazy = metrics.Mean(lazy)
 	res.Eager = metrics.Mean(eager)
 	res.FullRestore = metrics.Mean(full)
-	return res
+	return res, nil
 }
 
 // Table renders the restore-policy ablation.
@@ -131,16 +178,15 @@ type RefCompareRow struct {
 // RefCompareResult compares refresh-overhead mechanisms at 64 Gbit.
 type RefCompareResult struct{ Rows []RefCompareRow }
 
-// RefComparison pits CROW-ref against a RAIDR-style retention-aware refresh
-// baseline (footnote 4) on the single-core suite with futuristic 64 Gbit
-// chips. Both halve the bulk refresh rate; RAIDR pays per-weak-row refresh
-// work but no DRAM capacity, CROW-ref pays copy rows but composes with
-// CROW-cache.
-func RefComparison(r *Runner) RefCompareResult {
-	var res RefCompareResult
+func refCompareConfigs() []struct {
+	name    string
+	o       crow.Options
+	storage float64
+	cap     float64
+} {
 	geo := dram.Std(8)
 	weakRows := 3 * geo.Banks * geo.SubarraysPerBank() * 4 // per system
-	configs := []struct {
+	return []struct {
 		name    string
 		o       crow.Options
 		storage float64
@@ -151,14 +197,44 @@ func RefComparison(r *Runner) RefCompareResult {
 		{"raidr", crow.Options{Mechanism: crow.RAIDR, DensityGbit: 64},
 			core.RAIDRStorageKB(weakRows), 0},
 	}
-	for _, cfg := range configs {
+}
+
+// RefComparisonPlan declares the refresh-comparison runs.
+func RefComparisonPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, cfg := range refCompareConfigs() {
+		for _, app := range r.singleApps() {
+			o := cfg.o
+			o.Workloads = []string{app.Name}
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: []string{app.Name}},
+				o)
+		}
+	}
+	return plan
+}
+
+// RefComparison pits CROW-ref against a RAIDR-style retention-aware refresh
+// baseline (footnote 4) on the single-core suite with futuristic 64 Gbit
+// chips. Both halve the bulk refresh rate; RAIDR pays per-weak-row refresh
+// work but no DRAM capacity, CROW-ref pays copy rows but composes with
+// CROW-cache.
+func RefComparison(r *Runner) (RefCompareResult, error) {
+	var res RefCompareResult
+	for _, cfg := range refCompareConfigs() {
 		var sp, en []float64
 		var rowRef int64
 		for _, app := range r.singleApps() {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: []string{app.Name}})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: []string{app.Name}})
+			if err != nil {
+				return RefCompareResult{}, err
+			}
 			o := cfg.o
 			o.Workloads = []string{app.Name}
-			rep := r.Run(o)
+			rep, err := r.Run(o)
+			if err != nil {
+				return RefCompareResult{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 			rowRef += rep.RowRefreshOps
@@ -168,7 +244,7 @@ func RefComparison(r *Runner) RefCompareResult {
 			StorageKB: cfg.storage, CapacityOvh: cfg.cap, RowRefreshOps: rowRef,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Row returns the named design point.
@@ -207,22 +283,39 @@ type HammerResult struct {
 	IPCMitigate float64
 }
 
+func hammerOpts() (base, mit crow.Options) {
+	common := crow.Options{Workloads: []string{"hammer"}, LLCBytes: 64 << 10, HammerThreshold: 128}
+	base = common
+	base.Mechanism = crow.Baseline
+	mit = common
+	mit.Mechanism = crow.Hammer
+	return base, mit
+}
+
+// HammerAttackPlan declares the RowHammer experiment's runs.
+func HammerAttackPlan(r *Runner) []crow.Options {
+	base, mit := hammerOpts()
+	return []crow.Options{base, mit}
+}
+
 // HammerAttack runs the synthetic hammering probe with and without the
 // mitigation (with a small LLC emulating cache-flush attacks).
-func HammerAttack(r *Runner) HammerResult {
-	common := crow.Options{Workloads: []string{"hammer"}, LLCBytes: 64 << 10, HammerThreshold: 128}
-	baseOpts := common
-	baseOpts.Mechanism = crow.Baseline
-	base := r.Run(baseOpts)
-	mitOpts := common
-	mitOpts.Mechanism = crow.Hammer
-	mit := r.Run(mitOpts)
+func HammerAttack(r *Runner) (HammerResult, error) {
+	baseOpts, mitOpts := hammerOpts()
+	base, err := r.Run(baseOpts)
+	if err != nil {
+		return HammerResult{}, err
+	}
+	mit, err := r.Run(mitOpts)
+	if err != nil {
+		return HammerResult{}, err
+	}
 	return HammerResult{
 		Remaps:      mit.HammerRemaps,
 		CopyOps:     mit.ACTc,
 		IPCBase:     base.IPC[0],
 		IPCMitigate: mit.IPC[0],
-	}
+	}, nil
 }
 
 // Table renders the RowHammer experiment.
@@ -249,11 +342,11 @@ type SchedRow struct {
 // SchedResult holds the controller-policy sensitivity study.
 type SchedResult struct{ Rows []SchedRow }
 
-// SchedulerSensitivity sweeps the FR-FCFS-Cap limit and the row-buffer
-// timeout around the Table 2 defaults (cap 16, 75 ns) on the single-core
-// suite, reporting speedup relative to the defaults.
-func SchedulerSensitivity(r *Runner) SchedResult {
-	configs := []struct {
+func schedConfigs() []struct {
+	name string
+	mod  func(*crow.Options)
+} {
+	return []struct {
 		name string
 		mod  func(*crow.Options)
 	}{
@@ -263,19 +356,45 @@ func SchedulerSensitivity(r *Runner) SchedResult {
 		{"timeout=37ns", func(o *crow.Options) { o.RowTimeoutNs = 37.5 }},
 		{"timeout=300ns", func(o *crow.Options) { o.RowTimeoutNs = 300 }},
 	}
-	var res SchedResult
-	for _, cfg := range configs {
-		var sp []float64
+}
+
+// SchedulerSensitivityPlan declares the sensitivity study's runs.
+func SchedulerSensitivityPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, cfg := range schedConfigs() {
 		for _, app := range r.singleApps() {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			plan = append(plan, crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
 			o := crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}}
 			cfg.mod(&o)
-			rep := r.Run(o)
+			plan = append(plan, o)
+		}
+	}
+	return plan
+}
+
+// SchedulerSensitivity sweeps the FR-FCFS-Cap limit and the row-buffer
+// timeout around the Table 2 defaults (cap 16, 75 ns) on the single-core
+// suite, reporting speedup relative to the defaults.
+func SchedulerSensitivity(r *Runner) (SchedResult, error) {
+	var res SchedResult
+	for _, cfg := range schedConfigs() {
+		var sp []float64
+		for _, app := range r.singleApps() {
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			if err != nil {
+				return SchedResult{}, err
+			}
+			o := crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}}
+			cfg.mod(&o)
+			rep, err := r.Run(o)
+			if err != nil {
+				return SchedResult{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 		}
 		res.Rows = append(res.Rows, SchedRow{Name: cfg.name, Speedup: metrics.Mean(sp)})
 	}
-	return res
+	return res, nil
 }
 
 // Table renders the controller sensitivity study.

@@ -12,7 +12,10 @@ func TestHammerExperiment(t *testing.T) {
 	s.Insts = 100_000
 	s.Warmup = 5_000
 	r := NewRunner(s)
-	res := HammerAttack(r)
+	res, err := HammerAttack(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Remaps == 0 {
 		t.Error("the synthetic attack must trigger victim remaps")
 	}
@@ -29,7 +32,10 @@ func TestTableSharingAblation(t *testing.T) {
 		t.Skip("simulation experiment")
 	}
 	r := NewRunner(tinyScale())
-	res := TableSharing(r)
+	res, err := TableSharing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Points) != 4 {
 		t.Fatalf("want 4 sharing points")
 	}
@@ -52,7 +58,10 @@ func TestRestorePolicyAblation(t *testing.T) {
 		t.Skip("simulation experiment")
 	}
 	r := NewRunner(tinyScale())
-	res := RestorePolicy(r)
+	res, err := RestorePolicy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Table().Rows == nil {
 		t.Error("table must render")
 	}
@@ -67,7 +76,10 @@ func TestRefComparison(t *testing.T) {
 	s.Warmup = 12_000
 	s.SingleApps = []string{"mcf"}
 	r := NewRunner(s)
-	res := RefComparison(r)
+	res, err := RefComparison(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cr := res.Row("crow-ref")
 	ra := res.Row("raidr")
 	if cr.Speedup <= 0 || ra.Speedup <= 0 {
@@ -90,7 +102,10 @@ func TestSchedulerSensitivity(t *testing.T) {
 		t.Skip("simulation experiment")
 	}
 	r := NewRunner(tinyScale())
-	res := SchedulerSensitivity(r)
+	res, err := SchedulerSensitivity(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 5 {
 		t.Fatalf("want 5 sensitivity rows, got %d", len(res.Rows))
 	}

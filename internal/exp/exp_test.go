@@ -2,7 +2,10 @@ package exp
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"crowdram/internal/engine"
 )
 
 func TestAnalyticTablesRender(t *testing.T) {
@@ -53,7 +56,10 @@ func TestFig8SmallRun(t *testing.T) {
 		t.Skip("simulation experiment")
 	}
 	r := NewRunner(tinyScale())
-	res := Fig8(r)
+	res, err := Fig8(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Apps) != 2 {
 		t.Fatalf("apps = %v", res.Apps)
 	}
@@ -81,17 +87,98 @@ func TestRunnerMemoizes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	r := NewRunner(tinyScale())
-	runs := 0
-	r.Progress = func(string) { runs++ }
-	Fig8(r)
-	first := runs
-	Fig8(r) // fully cached
-	if runs != first {
-		t.Errorf("second Fig8 must hit the cache entirely (%d -> %d runs)", first, runs)
+	var runs atomic.Int64
+	r := NewRunner(tinyScale(), Observe(func(e engine.Event) {
+		if e.Type == engine.EventFinished {
+			runs.Add(1)
+		}
+	}))
+	if _, err := Fig8(r); err != nil {
+		t.Fatal(err)
+	}
+	first := runs.Load()
+	if _, err := Fig8(r); err != nil { // fully cached
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != first {
+		t.Errorf("second Fig8 must hit the cache entirely (%d -> %d runs)", first, got)
 	}
 	if first == 0 {
-		t.Error("progress callback must fire on fresh runs")
+		t.Error("observer must see fresh runs finish")
+	}
+}
+
+// TestPlanCoversReduce asserts the tentpole invariant: after Execute(Plan),
+// the reduce phase performs zero fresh simulations — every run it requests,
+// including recursive alone-run baselines, was declared in the plan.
+func TestPlanCoversReduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	for _, e := range Experiments() {
+		if e.Plan == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			var fresh atomic.Int64
+			executed := make(chan struct{})
+			r := NewRunner(tinyScale(), Workers(4), Observe(func(ev engine.Event) {
+				if ev.Type == engine.EventFinished {
+					select {
+					case <-executed:
+						fresh.Add(1)
+					default:
+					}
+				}
+			}))
+			if err := r.Execute(e.Plan(r)); err != nil {
+				t.Fatal(err)
+			}
+			close(executed)
+			if _, err := e.Table(r); err != nil {
+				t.Fatal(err)
+			}
+			if n := fresh.Load(); n != 0 {
+				t.Errorf("reduce phase ran %d simulations not declared in the plan", n)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequential is the determinism guard: rendered output
+// must be byte-identical whether runs execute on one worker or four, in
+// whatever order the scheduler picks.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment (QuickScale)")
+	}
+	render := func(workers int) string {
+		r := NewRunner(QuickScale(), Workers(workers))
+		sel := []Experiment{}
+		for _, e := range Experiments() {
+			if e.Name == "fig8" || e.Name == "fig9" {
+				sel = append(sel, e)
+			}
+		}
+		if err := r.Execute(PlanAll(r, sel)); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, e := range sel {
+			tb, err := e.Table(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(tb.String())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Errorf("-j 4 output differs from -j 1 output:\n--- j1 ---\n%s\n--- j4 ---\n%s", seq, par)
 	}
 }
 
@@ -106,7 +193,10 @@ func TestFig13Shape(t *testing.T) {
 	s.Insts = 120_000
 	s.Warmup = 12_000
 	r := NewRunner(s)
-	res := Fig13(r)
+	res, err := Fig13(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Points) != 4 {
 		t.Fatalf("Figure 13 sweeps 4 densities")
 	}

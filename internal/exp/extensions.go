@@ -19,12 +19,11 @@ type LatCompareRow struct {
 // mechanisms of Section 9.
 type LatCompareResult struct{ Rows []LatCompareRow }
 
-// LatencyComparison pits CROW-cache against ChargeCache [26] (short-lived
-// highly-charged-row reuse) on the single-core suite. The paper argues
-// CROW-cache captures more in-DRAM locality because a duplicated row stays
-// fast indefinitely, while ChargeCache's benefit decays within ~1 ms.
-func LatencyComparison(r *Runner) LatCompareResult {
-	configs := []struct {
+func latCompareConfigs() []struct {
+	name string
+	o    crow.Options
+} {
+	return []struct {
 		name string
 		o    crow.Options
 	}{
@@ -32,14 +31,42 @@ func LatencyComparison(r *Runner) LatCompareResult {
 		{"chargecache", crow.Options{Mechanism: crow.ChargeCache}},
 		{"ideal crow-cache", crow.Options{Mechanism: crow.IdealCache}},
 	}
-	var res LatCompareResult
-	for _, cfg := range configs {
-		var sp, en, hr []float64
+}
+
+// LatencyComparisonPlan declares the latency-comparison runs.
+func LatencyComparisonPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, cfg := range latCompareConfigs() {
 		for _, app := range r.singleApps() {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
 			o := cfg.o
 			o.Workloads = []string{app.Name}
-			rep := r.Run(o)
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}},
+				o)
+		}
+	}
+	return plan
+}
+
+// LatencyComparison pits CROW-cache against ChargeCache [26] (short-lived
+// highly-charged-row reuse) on the single-core suite. The paper argues
+// CROW-cache captures more in-DRAM locality because a duplicated row stays
+// fast indefinitely, while ChargeCache's benefit decays within ~1 ms.
+func LatencyComparison(r *Runner) (LatCompareResult, error) {
+	var res LatCompareResult
+	for _, cfg := range latCompareConfigs() {
+		var sp, en, hr []float64
+		for _, app := range r.singleApps() {
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			if err != nil {
+				return LatCompareResult{}, err
+			}
+			o := cfg.o
+			o.Workloads = []string{app.Name}
+			rep, err := r.Run(o)
+			if err != nil {
+				return LatCompareResult{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 			hr = append(hr, rep.CROWTableHitRate)
@@ -49,7 +76,7 @@ func LatencyComparison(r *Runner) LatCompareResult {
 			HitRate: metrics.Mean(hr), EnergyRatio: metrics.Mean(en),
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Row returns the named design point.
@@ -85,12 +112,11 @@ type RefreshModeRow struct {
 // RefreshModeResult holds the refresh-mode study.
 type RefreshModeResult struct{ Rows []RefreshModeRow }
 
-// RefreshModes studies the controller's refresh machinery at 64 Gbit, where
-// refresh pressure is highest: all-bank REFab (Table 2 default), elastic
-// postponement of up to 8 REFs [107], LPDDR4 per-bank REFpb, and both.
-// These are orthogonal to (and compose with) CROW-ref.
-func RefreshModes(r *Runner) RefreshModeResult {
-	configs := []struct {
+func refreshModeConfigs() []struct {
+	name string
+	mod  func(*crow.Options)
+} {
+	return []struct {
 		name string
 		mod  func(*crow.Options)
 	}{
@@ -100,21 +126,49 @@ func RefreshModes(r *Runner) RefreshModeResult {
 		{"REFab + crow-ref", func(o *crow.Options) { o.Mechanism = crow.Ref }},
 		{"REFpb + crow-ref", func(o *crow.Options) { o.PerBankRefresh = true; o.Mechanism = crow.Ref }},
 	}
+}
+
+// RefreshModesPlan declares the refresh-mode study's runs.
+func RefreshModesPlan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, cfg := range refreshModeConfigs() {
+		for _, app := range r.singleApps() {
+			w := []string{app.Name}
+			plan = append(plan, crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: w})
+			o := crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: w}
+			cfg.mod(&o)
+			plan = append(plan, o)
+		}
+	}
+	return plan
+}
+
+// RefreshModes studies the controller's refresh machinery at 64 Gbit, where
+// refresh pressure is highest: all-bank REFab (Table 2 default), elastic
+// postponement of up to 8 REFs [107], LPDDR4 per-bank REFpb, and both.
+// These are orthogonal to (and compose with) CROW-ref.
+func RefreshModes(r *Runner) (RefreshModeResult, error) {
 	var res RefreshModeResult
-	for _, cfg := range configs {
+	for _, cfg := range refreshModeConfigs() {
 		var sp, en []float64
 		for _, app := range r.singleApps() {
 			w := []string{app.Name}
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: w})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: w})
+			if err != nil {
+				return RefreshModeResult{}, err
+			}
 			o := crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, Workloads: w}
 			cfg.mod(&o)
-			rep := r.Run(o)
+			rep, err := r.Run(o)
+			if err != nil {
+				return RefreshModeResult{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 		}
 		res.Rows = append(res.Rows, RefreshModeRow{Name: cfg.name, Speedup: metrics.Mean(sp), Energy: metrics.Mean(en)})
 	}
-	return res
+	return res, nil
 }
 
 // Row returns the named design point.

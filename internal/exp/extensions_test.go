@@ -10,7 +10,10 @@ func TestLatencyComparison(t *testing.T) {
 	s.Insts = 60_000
 	s.Warmup = 6_000
 	r := NewRunner(s)
-	res := LatencyComparison(r)
+	res, err := LatencyComparison(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("want 3 rows, got %d", len(res.Rows))
 	}
@@ -40,7 +43,10 @@ func TestRefreshModes(t *testing.T) {
 	s.Warmup = 15_000
 	s.SingleApps = []string{"mcf"}
 	r := NewRunner(s)
-	res := RefreshModes(r)
+	res, err := RefreshModes(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 5 {
 		t.Fatalf("want 5 modes, got %d", len(res.Rows))
 	}

@@ -26,27 +26,47 @@ type Fig8Result struct {
 	RestoreShare float64
 }
 
+var fig8Configs = []int{1, 8, 256}
+
+// Fig8Plan declares Figure 8's runs.
+func Fig8Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, app := range r.singleApps() {
+		plan = append(plan, crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		for _, c := range fig8Configs {
+			plan = append(plan, crow.Options{Mechanism: crow.Cache, CopyRows: c, Workloads: []string{app.Name}})
+		}
+		plan = append(plan, crow.Options{Mechanism: crow.IdealCache, Workloads: []string{app.Name}})
+	}
+	return plan
+}
+
 // Fig8 runs the single-core CROW-cache evaluation.
-func Fig8(r *Runner) Fig8Result {
-	configs := []int{1, 8, 256}
+func Fig8(r *Runner) (Fig8Result, error) {
 	res := Fig8Result{
-		Configs: configs,
+		Configs: fig8Configs,
 		MPKI:    map[string]float64{},
 		Speedup: map[int]map[string]float64{},
 		HitRate: map[int]map[string]float64{},
 		Ideal:   map[string]float64{},
 	}
-	for _, c := range configs {
+	for _, c := range fig8Configs {
 		res.Speedup[c] = map[string]float64{}
 		res.HitRate[c] = map[string]float64{}
 	}
 	var restoreOps, acts int64
 	for _, app := range r.singleApps() {
 		res.Apps = append(res.Apps, app.Name)
-		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		if err != nil {
+			return Fig8Result{}, err
+		}
 		res.MPKI[app.Name] = base.MPKI[0]
-		for _, c := range configs {
-			rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: c, Workloads: []string{app.Name}})
+		for _, c := range fig8Configs {
+			rep, err := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: c, Workloads: []string{app.Name}})
+			if err != nil {
+				return Fig8Result{}, err
+			}
 			res.Speedup[c][app.Name] = metrics.Speedup(rep.IPC[0], base.IPC[0])
 			res.HitRate[c][app.Name] = rep.CROWTableHitRate
 			if c == 1 {
@@ -54,12 +74,15 @@ func Fig8(r *Runner) Fig8Result {
 				acts += rep.ACT + rep.ACTt + rep.ACTc
 			}
 		}
-		ideal := r.Run(crow.Options{Mechanism: crow.IdealCache, Workloads: []string{app.Name}})
+		ideal, err := r.Run(crow.Options{Mechanism: crow.IdealCache, Workloads: []string{app.Name}})
+		if err != nil {
+			return Fig8Result{}, err
+		}
 		res.Ideal[app.Name] = metrics.Speedup(ideal.IPC[0], base.IPC[0])
 	}
 	res.AvgSpeedup = map[int]float64{}
 	res.AvgHitRate = map[int]float64{}
-	for _, c := range configs {
+	for _, c := range fig8Configs {
 		var sp, hr []float64
 		for _, a := range res.Apps {
 			sp = append(sp, res.Speedup[c][a])
@@ -76,7 +99,7 @@ func Fig8(r *Runner) Fig8Result {
 	if acts > 0 {
 		res.RestoreShare = float64(restoreOps) / float64(acts)
 	}
-	return res
+	return res, nil
 }
 
 // Table renders Figure 8.
@@ -113,31 +136,72 @@ type Fig9Result struct {
 	Stats   map[string]map[string]GroupStat
 }
 
-// Fig9 runs the four-core CROW-cache evaluation.
-func Fig9(r *Runner) Fig9Result {
-	res := Fig9Result{
-		Configs: []string{"CROW-1", "CROW-8", "Ideal"},
-		Stats:   map[string]map[string]GroupStat{},
-	}
-	opts := map[string]crow.Options{
+func fig9Opts() map[string]crow.Options {
+	return map[string]crow.Options{
 		"CROW-1": {Mechanism: crow.Cache, CopyRows: 1},
 		"CROW-8": {Mechanism: crow.Cache, CopyRows: 8},
 		"Ideal":  {Mechanism: crow.IdealCache},
 	}
+}
+
+// fig9Mixes returns the group's mixes, seeded as the reduce phase seeds them.
+func fig9Mixes(r *Runner, gi int, classes []trace.Class) []trace.Mix {
+	return trace.MakeMixes(classes, r.Scale.MixesPerGroup, r.Scale.Seed+int64(gi))
+}
+
+// Fig9Plan declares Figure 9's runs, including the alone-run baselines the
+// weighted speedups depend on.
+func Fig9Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for gi, classes := range trace.Groups {
+		mixes := fig9Mixes(r, gi, classes)
+		for _, mix := range mixes {
+			apps := trace.Names(mix.Apps)
+			plan = append(plan, crow.Options{Mechanism: crow.Baseline, Workloads: apps})
+			for _, o := range fig9Opts() {
+				o.Workloads = apps
+				plan = append(plan, o)
+			}
+		}
+		plan = append(plan, alonePlan(mixes, crow.Options{})...)
+	}
+	return plan
+}
+
+// Fig9 runs the four-core CROW-cache evaluation.
+func Fig9(r *Runner) (Fig9Result, error) {
+	res := Fig9Result{
+		Configs: []string{"CROW-1", "CROW-8", "Ideal"},
+		Stats:   map[string]map[string]GroupStat{},
+	}
+	opts := fig9Opts()
 	for gi, classes := range trace.Groups {
 		gname := trace.GroupName(classes)
 		res.Groups = append(res.Groups, gname)
-		mixes := trace.MakeMixes(classes, r.Scale.MixesPerGroup, r.Scale.Seed+int64(gi))
+		mixes := fig9Mixes(r, gi, classes)
 		sp := map[string][]float64{}
 		for _, mix := range mixes {
 			apps := trace.Names(mix.Apps)
 			env := crow.Options{}
-			baseRep := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
-			wsBase := r.ws(baseRep, apps, env)
+			baseRep, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			wsBase, err := r.ws(baseRep, apps, env)
+			if err != nil {
+				return Fig9Result{}, err
+			}
 			for name, o := range opts {
 				o.Workloads = apps
-				rep := r.Run(o)
-				sp[name] = append(sp[name], metrics.Speedup(r.ws(rep, apps, env), wsBase))
+				rep, err := r.Run(o)
+				if err != nil {
+					return Fig9Result{}, err
+				}
+				wsMech, err := r.ws(rep, apps, env)
+				if err != nil {
+					return Fig9Result{}, err
+				}
+				sp[name] = append(sp[name], metrics.Speedup(wsMech, wsBase))
 			}
 		}
 		res.Stats[gname] = map[string]GroupStat{}
@@ -146,7 +210,7 @@ func Fig9(r *Runner) Fig9Result {
 			res.Stats[gname][name] = GroupStat{Avg: metrics.Mean(vals), Min: min, Max: max}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Avg returns the mean speedup of a config across all groups.
@@ -184,13 +248,42 @@ type Fig10Result struct {
 	FourCore   float64
 }
 
+// Fig10Plan declares Figure 10's runs (all shared with Figure 8 where the
+// workloads overlap; the engine coalesces them).
+func Fig10Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, app := range r.singleApps() {
+		plan = append(plan,
+			crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}},
+			crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: []string{app.Name}})
+	}
+	for gi, classes := range trace.Groups {
+		if trace.GroupName(classes) == "LLLL" {
+			continue
+		}
+		for _, mix := range fig9Mixes(r, gi, classes) {
+			apps := trace.Names(mix.Apps)
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, Workloads: apps},
+				crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: apps})
+		}
+	}
+	return plan
+}
+
 // Fig10 runs the CROW-cache energy evaluation.
-func Fig10(r *Runner) Fig10Result {
+func Fig10(r *Runner) (Fig10Result, error) {
 	var res Fig10Result
 	var single []float64
 	for _, app := range r.singleApps() {
-		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
-		rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: []string{app.Name}})
+		base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		rep, err := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: []string{app.Name}})
+		if err != nil {
+			return Fig10Result{}, err
+		}
 		single = append(single, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 	}
 	res.SingleCore = metrics.Mean(single)
@@ -200,16 +293,21 @@ func Fig10(r *Runner) Fig10Result {
 		if trace.GroupName(classes) == "LLLL" {
 			continue // negligible DRAM activity
 		}
-		mixes := trace.MakeMixes(classes, r.Scale.MixesPerGroup, r.Scale.Seed+int64(gi))
-		for _, mix := range mixes {
+		for _, mix := range fig9Mixes(r, gi, classes) {
 			apps := trace.Names(mix.Apps)
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
-			rep := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: apps})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: apps})
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			rep, err := r.Run(crow.Options{Mechanism: crow.Cache, CopyRows: 8, Workloads: apps})
+			if err != nil {
+				return Fig10Result{}, err
+			}
 			four = append(four, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 		}
 	}
 	res.FourCore = metrics.Mean(four)
-	return res
+	return res, nil
 }
 
 // Table renders Figure 10.
@@ -236,9 +334,11 @@ type Fig11Row struct {
 // SALP.
 type Fig11Result struct{ Rows []Fig11Row }
 
-// Fig11 runs the baseline-comparison evaluation.
-func Fig11(r *Runner) Fig11Result {
-	configs := []struct {
+func fig11Configs() []struct {
+	name string
+	o    crow.Options
+} {
+	return []struct {
 		name string
 		o    crow.Options
 	}{
@@ -250,16 +350,40 @@ func Fig11(r *Runner) Fig11Result {
 		{"SALP-128-O", crow.Options{Mechanism: crow.SALP, SALPSubarrays: 128, SALPOpenPage: true}},
 		{"SALP-256-O", crow.Options{Mechanism: crow.SALP, SALPSubarrays: 256, SALPOpenPage: true}},
 	}
+}
+
+// Fig11Plan declares Figure 11's runs.
+func Fig11Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, app := range r.singleApps() {
+		plan = append(plan, crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+		for _, cfg := range fig11Configs() {
+			o := cfg.o
+			o.Workloads = []string{app.Name}
+			plan = append(plan, o)
+		}
+	}
+	return plan
+}
+
+// Fig11 runs the baseline-comparison evaluation.
+func Fig11(r *Runner) (Fig11Result, error) {
 	var res Fig11Result
 	apps := r.singleApps()
-	for _, cfg := range configs {
+	for _, cfg := range fig11Configs() {
 		var sp, en []float64
 		var area float64
 		for _, app := range apps {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: []string{app.Name}})
+			if err != nil {
+				return Fig11Result{}, err
+			}
 			o := cfg.o
 			o.Workloads = []string{app.Name}
-			rep := r.Run(o)
+			rep, err := r.Run(o)
+			if err != nil {
+				return Fig11Result{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 			area = rep.ChipAreaOverhead
@@ -269,7 +393,7 @@ func Fig11(r *Runner) Fig11Result {
 			EnergyRatio: metrics.Mean(en), AreaOvh: area,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Row returns the named design point.
@@ -312,21 +436,52 @@ type Fig12Result struct {
 	AvgGain float64
 }
 
+// fig12Apps is Figure 12's representative workload sample (as the paper
+// uses), unless the scale restricts the suite.
+func fig12Apps(r *Runner) []string {
+	if r.Scale.SingleApps != nil {
+		return r.Scale.SingleApps
+	}
+	return []string{"libq", "lbm", "mcf", "soplex", "omnetpp", "stream-copy"}
+}
+
+// Fig12Plan declares Figure 12's runs.
+func Fig12Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	for _, app := range fig12Apps(r) {
+		w := []string{app}
+		plan = append(plan,
+			crow.Options{Mechanism: crow.Baseline, Workloads: w},
+			crow.Options{Mechanism: crow.Baseline, Workloads: w, Prefetch: true},
+			crow.Options{Mechanism: crow.Cache, Workloads: w},
+			crow.Options{Mechanism: crow.Cache, Workloads: w, Prefetch: true})
+	}
+	return plan
+}
+
 // Fig12 runs the prefetcher-interaction evaluation on a representative
 // sample of workloads (as the paper does).
-func Fig12(r *Runner) Fig12Result {
-	apps := r.Scale.SingleApps
-	if apps == nil {
-		apps = []string{"libq", "lbm", "mcf", "soplex", "omnetpp", "stream-copy"}
-	}
+func Fig12(r *Runner) (Fig12Result, error) {
 	var res Fig12Result
 	var gains []float64
-	for _, app := range apps {
+	for _, app := range fig12Apps(r) {
 		w := []string{app}
-		base := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w})
-		pref := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w, Prefetch: true})
-		cache := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w})
-		both := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w, Prefetch: true})
+		base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		pref, err := r.Run(crow.Options{Mechanism: crow.Baseline, Workloads: w, Prefetch: true})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		cache, err := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		both, err := r.Run(crow.Options{Mechanism: crow.Cache, Workloads: w, Prefetch: true})
+		if err != nil {
+			return Fig12Result{}, err
+		}
 		row := Fig12Row{
 			App:  app,
 			Pref: metrics.Speedup(pref.IPC[0], base.IPC[0]),
@@ -337,7 +492,7 @@ func Fig12(r *Runner) Fig12Result {
 		gains = append(gains, metrics.Speedup(both.IPC[0], pref.IPC[0]))
 	}
 	res.AvgGain = metrics.Mean(gains)
-	return res
+	return res, nil
 }
 
 // Table renders Figure 12.
@@ -365,20 +520,55 @@ type Fig13Point struct {
 // Fig13Result holds Figure 13's data.
 type Fig13Result struct{ Points []Fig13Point }
 
-// Fig13 runs the CROW-ref evaluation across chip densities.
-func Fig13(r *Runner) Fig13Result {
-	var res Fig13Result
-	hhhh := trace.MakeMixes([]trace.Class{trace.High, trace.High, trace.High, trace.High},
+var fig13Densities = []int{8, 16, 32, 64}
+
+// fig13Mixes returns Figure 13's HHHH mixes (shared seed with Figure 14).
+func fig13Mixes(r *Runner) []trace.Mix {
+	return trace.MakeMixes([]trace.Class{trace.High, trace.High, trace.High, trace.High},
 		r.Scale.MixesPerGroup, r.Scale.Seed+4)
-	for _, d := range []int{8, 16, 32, 64} {
+}
+
+// Fig13Plan declares Figure 13's runs, including the per-density alone-run
+// baselines.
+func Fig13Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	hhhh := fig13Mixes(r)
+	for _, d := range fig13Densities {
+		for _, app := range r.singleApps() {
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: []string{app.Name}},
+				crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: []string{app.Name}})
+		}
+		for _, mix := range hhhh {
+			apps := trace.Names(mix.Apps)
+			plan = append(plan,
+				crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: apps},
+				crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: apps})
+		}
+		plan = append(plan, alonePlan(hhhh, crow.Options{DensityGbit: d})...)
+	}
+	return plan
+}
+
+// Fig13 runs the CROW-ref evaluation across chip densities.
+func Fig13(r *Runner) (Fig13Result, error) {
+	var res Fig13Result
+	hhhh := fig13Mixes(r)
+	for _, d := range fig13Densities {
 		var p Fig13Point
 		p.DensityGbit = d
 		env := crow.Options{DensityGbit: d}
 
 		var sp, en []float64
 		for _, app := range r.singleApps() {
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: []string{app.Name}})
-			rep := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: []string{app.Name}})
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: []string{app.Name}})
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			rep, err := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: []string{app.Name}})
+			if err != nil {
+				return Fig13Result{}, err
+			}
 			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
 			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 		}
@@ -388,17 +578,30 @@ func Fig13(r *Runner) Fig13Result {
 		var fsp, fen []float64
 		for _, mix := range hhhh {
 			apps := trace.Names(mix.Apps)
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: apps})
-			rep := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: apps})
-			wsBase := r.ws(base, apps, env)
-			fsp = append(fsp, metrics.Speedup(r.ws(rep, apps, env), wsBase))
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: d, Workloads: apps})
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			rep, err := r.Run(crow.Options{Mechanism: crow.Ref, DensityGbit: d, Workloads: apps})
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			wsBase, err := r.ws(base, apps, env)
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			wsMech, err := r.ws(rep, apps, env)
+			if err != nil {
+				return Fig13Result{}, err
+			}
+			fsp = append(fsp, metrics.Speedup(wsMech, wsBase))
 			fen = append(fen, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 		}
 		p.FourSpeedup = metrics.Mean(fsp)
 		p.FourEnergy = metrics.Mean(fen)
 		res.Points = append(res.Points, p)
 	}
-	return res
+	return res, nil
 }
 
 // Point returns the result at the given density.
@@ -442,24 +645,56 @@ type Fig14Result struct {
 	Cells  map[int]map[string]Fig14Point
 }
 
-// Fig14 runs the combined CROW-cache + CROW-ref evaluation across LLC
-// capacities on four-core mixes at 64 Gbit density.
-func Fig14(r *Runner) Fig14Result {
-	res := Fig14Result{
-		LLCMiB: []int{1, 8, 32},
-		Mechs:  []string{"cache", "ref", "cache+ref", "ideal"},
-		Cells:  map[int]map[string]Fig14Point{},
-	}
-	opts := map[string]crow.Options{
+var fig14LLCMiB = []int{1, 8, 32}
+
+func fig14Opts() map[string]crow.Options {
+	return map[string]crow.Options{
 		"cache":     {Mechanism: crow.Cache},
 		"ref":       {Mechanism: crow.Ref},
 		"cache+ref": {Mechanism: crow.CacheRef},
 		"ideal":     {Mechanism: crow.IdealNoRefresh},
 	}
+}
+
+// fig14Mixes returns Figure 14's HHHH + MMHH mixes.
+func fig14Mixes(r *Runner) []trace.Mix {
 	mixes := trace.MakeMixes([]trace.Class{trace.High, trace.High, trace.High, trace.High},
 		r.Scale.MixesPerGroup, r.Scale.Seed+4)
-	mixes = append(mixes, trace.MakeMixes([]trace.Class{trace.Medium, trace.Medium, trace.High, trace.High},
+	return append(mixes, trace.MakeMixes([]trace.Class{trace.Medium, trace.Medium, trace.High, trace.High},
 		r.Scale.MixesPerGroup, r.Scale.Seed+7)...)
+}
+
+// Fig14Plan declares Figure 14's runs, including per-LLC alone baselines.
+func Fig14Plan(r *Runner) []crow.Options {
+	var plan []crow.Options
+	mixes := fig14Mixes(r)
+	for _, mib := range fig14LLCMiB {
+		llc := int64(mib) << 20
+		for _, mix := range mixes {
+			apps := trace.Names(mix.Apps)
+			plan = append(plan, crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, LLCBytes: llc, Workloads: apps})
+			for _, o := range fig14Opts() {
+				o.DensityGbit = 64
+				o.LLCBytes = llc
+				o.Workloads = apps
+				plan = append(plan, o)
+			}
+		}
+		plan = append(plan, alonePlan(mixes, crow.Options{DensityGbit: 64, LLCBytes: llc})...)
+	}
+	return plan
+}
+
+// Fig14 runs the combined CROW-cache + CROW-ref evaluation across LLC
+// capacities on four-core mixes at 64 Gbit density.
+func Fig14(r *Runner) (Fig14Result, error) {
+	res := Fig14Result{
+		LLCMiB: fig14LLCMiB,
+		Mechs:  []string{"cache", "ref", "cache+ref", "ideal"},
+		Cells:  map[int]map[string]Fig14Point{},
+	}
+	opts := fig14Opts()
+	mixes := fig14Mixes(r)
 	for _, mib := range res.LLCMiB {
 		llc := int64(mib) << 20
 		env := crow.Options{DensityGbit: 64, LLCBytes: llc}
@@ -467,14 +702,27 @@ func Fig14(r *Runner) Fig14Result {
 		en := map[string][]float64{}
 		for _, mix := range mixes {
 			apps := trace.Names(mix.Apps)
-			base := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, LLCBytes: llc, Workloads: apps})
-			wsBase := r.ws(base, apps, env)
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, DensityGbit: 64, LLCBytes: llc, Workloads: apps})
+			if err != nil {
+				return Fig14Result{}, err
+			}
+			wsBase, err := r.ws(base, apps, env)
+			if err != nil {
+				return Fig14Result{}, err
+			}
 			for name, o := range opts {
 				o.DensityGbit = 64
 				o.LLCBytes = llc
 				o.Workloads = apps
-				rep := r.Run(o)
-				sp[name] = append(sp[name], metrics.Speedup(r.ws(rep, apps, env), wsBase))
+				rep, err := r.Run(o)
+				if err != nil {
+					return Fig14Result{}, err
+				}
+				wsMech, err := r.ws(rep, apps, env)
+				if err != nil {
+					return Fig14Result{}, err
+				}
+				sp[name] = append(sp[name], metrics.Speedup(wsMech, wsBase))
 				en[name] = append(en[name], rep.EnergyNJ.Total()/base.EnergyNJ.Total())
 			}
 		}
@@ -483,7 +731,7 @@ func Fig14(r *Runner) Fig14Result {
 			res.Cells[mib][m] = Fig14Point{Speedup: metrics.Mean(sp[m]), Energy: metrics.Mean(en[m])}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Table renders Figure 14.

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+
+	"crowdram/crow"
+)
+
+// Kind classifies experiments for CLI selection groups.
+type Kind string
+
+// Experiment kinds (the crowbench -exp group names).
+const (
+	Analytic Kind = "analytic"
+	Sim      Kind = "sim"
+	Ablation Kind = "ablations"
+)
+
+// Experiment couples a named experiment's plan phase (the simulation runs
+// it requires, declared up front so they can execute concurrently) with its
+// reduce phase (table assembly from completed, memoized results). Analytic
+// experiments need no simulations: their Plan is nil.
+type Experiment struct {
+	Name string
+	Kind Kind
+	// Plan declares every run the reduce phase will request, including
+	// the alone-run baselines behind weighted speedups. nil for
+	// analytic experiments.
+	Plan func(*Runner) []crow.Options
+	// Table assembles the experiment's table. After Execute(Plan(r))
+	// it performs no fresh simulation work.
+	Table func(*Runner) (Table, error)
+}
+
+// tab adapts a typed figure function to the registry's Table signature.
+func tab[T interface{ Table() Table }](fn func(*Runner) (T, error)) func(*Runner) (Table, error) {
+	return func(r *Runner) (Table, error) {
+		res, err := fn(r)
+		if err != nil {
+			return Table{}, err
+		}
+		return res.Table(), nil
+	}
+}
+
+// analytic adapts a pure table function to the registry's signature.
+func analytic(fn func() Table) func(*Runner) (Table, error) {
+	return func(*Runner) (Table, error) { return fn(), nil }
+}
+
+// Experiments returns the full registry in canonical order (the order
+// crowbench -exp all renders).
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "table1", Kind: Analytic, Table: analytic(Table1)},
+		{Name: "fig5", Kind: Analytic, Table: analytic(Fig5)},
+		{Name: "fig6", Kind: Analytic, Table: analytic(Fig6)},
+		{Name: "fig7", Kind: Analytic, Table: analytic(Fig7)},
+		{Name: "weakprob", Kind: Analytic, Table: analytic(WeakProb)},
+		{Name: "overhead", Kind: Analytic, Table: analytic(Overhead)},
+		{Name: "fig8", Kind: Sim, Plan: Fig8Plan, Table: tab(Fig8)},
+		{Name: "fig9", Kind: Sim, Plan: Fig9Plan, Table: tab(Fig9)},
+		{Name: "fig10", Kind: Sim, Plan: Fig10Plan, Table: tab(Fig10)},
+		{Name: "fig11", Kind: Sim, Plan: Fig11Plan, Table: tab(Fig11)},
+		{Name: "fig12", Kind: Sim, Plan: Fig12Plan, Table: tab(Fig12)},
+		{Name: "fig13", Kind: Sim, Plan: Fig13Plan, Table: tab(Fig13)},
+		{Name: "fig14", Kind: Sim, Plan: Fig14Plan, Table: tab(Fig14)},
+		{Name: "sharing", Kind: Ablation, Plan: TableSharingPlan, Table: tab(TableSharing)},
+		{Name: "restore", Kind: Ablation, Plan: RestorePolicyPlan, Table: tab(RestorePolicy)},
+		{Name: "refcompare", Kind: Ablation, Plan: RefComparisonPlan, Table: tab(RefComparison)},
+		{Name: "latcompare", Kind: Ablation, Plan: LatencyComparisonPlan, Table: tab(LatencyComparison)},
+		{Name: "refreshmodes", Kind: Ablation, Plan: RefreshModesPlan, Table: tab(RefreshModes)},
+		{Name: "hammer", Kind: Ablation, Plan: HammerAttackPlan, Table: tab(HammerAttack)},
+		{Name: "sched", Kind: Ablation, Plan: SchedulerSensitivityPlan, Table: tab(SchedulerSensitivity)},
+	}
+}
+
+// Select resolves a crowbench -exp selection: an experiment name, a kind
+// ("analytic", "sim", "ablations"), or "all". Order follows the registry.
+func Select(names []string) ([]Experiment, error) {
+	all := Experiments()
+	want := map[string]bool{}
+	for _, n := range names {
+		switch n {
+		case "all":
+			for _, e := range all {
+				want[e.Name] = true
+			}
+		case string(Analytic), string(Sim), string(Ablation):
+			for _, e := range all {
+				if e.Kind == Kind(n) {
+					want[e.Name] = true
+				}
+			}
+		default:
+			found := false
+			for _, e := range all {
+				if e.Name == n {
+					want[e.Name] = true
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("exp: unknown experiment %q", n)
+			}
+		}
+	}
+	var sel []Experiment
+	for _, e := range all {
+		if want[e.Name] {
+			sel = append(sel, e)
+		}
+	}
+	return sel, nil
+}
+
+// PlanAll concatenates the plans of the selected experiments (the engine
+// deduplicates shared runs by canonical key at execution time).
+func PlanAll(r *Runner, sel []Experiment) []crow.Options {
+	var plan []crow.Options
+	for _, e := range sel {
+		if e.Plan != nil {
+			plan = append(plan, e.Plan(r)...)
+		}
+	}
+	return plan
+}

@@ -4,17 +4,25 @@
 // circuit and retention models; simulation experiments (Figures 8–14) run
 // the full system at a configurable scale.
 //
-// Results are returned as typed values plus a renderable Table, and all
-// simulation runs are memoized per configuration so that experiments sharing
-// runs (e.g. Figures 8 and 10) pay for them once.
+// Each simulation experiment is split into a plan phase that declares the
+// runs it needs (a list of crow.Options, including the alone-run baselines
+// behind weighted speedups) and a reduce phase that assembles tables from
+// completed results. Plans execute on a bounded worker pool
+// (internal/engine) with deterministic memoization, so independent runs
+// parallelize across cores while experiments sharing runs (e.g. Figures 8
+// and 10) still pay for them once — and the reduce phase, which re-requests
+// every run it uses, produces byte-identical output at any worker count.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"crowdram/crow"
+	"crowdram/internal/engine"
 	"crowdram/internal/metrics"
 	"crowdram/internal/trace"
 )
@@ -90,52 +98,133 @@ func (t Table) String() string {
 func pct(v float64) string  { return fmt.Sprintf("%+.1f%%", 100*v) }
 func pct2(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-// Runner executes and memoizes simulation runs.
+// Runner executes and memoizes simulation runs on a bounded worker pool.
 type Runner struct {
 	Scale Scale
-	cache map[string]crow.Report
-	// Progress, when non-nil, receives a line per fresh simulation run.
-	Progress func(string)
+	pool  *engine.Pool[crow.Report]
+	ctx   context.Context
 }
 
-// NewRunner builds a Runner at the given scale.
-func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, cache: make(map[string]crow.Report)}
+// RunnerOption configures a Runner.
+type RunnerOption func(*runnerConfig)
+
+type runnerConfig struct {
+	workers  int
+	timeout  time.Duration
+	observer engine.Observer
+	ctx      context.Context
 }
 
-func optKey(o crow.Options) string {
-	return fmt.Sprintf("%s|%v|cr%d|d%d|rw%.0f|wk%d|llc%d|pf%v|tl%d|sa%d-%v|ht%d|sh%d|fr%v|sc%v|er%v|cap%d|to%.0f|pb%v|pp%d|i%d|w%d|s%d",
-		o.Mechanism, o.Workloads, o.CopyRows, o.DensityGbit, o.RefreshWindowMS,
-		o.WeakRowsPerSubarray, o.LLCBytes, o.Prefetch, o.TLDRAMNearRows,
-		o.SALPSubarrays, o.SALPOpenPage, o.HammerThreshold,
-		o.TableShareGroup, o.FullRestore, o.Scrub, o.EagerRestore, o.ControllerCap, o.RowTimeoutNs, o.PerBankRefresh, o.RefreshPostpone,
-		o.MeasureInsts, o.WarmupInsts, o.Seed)
+// Workers sets how many simulations may execute concurrently (the
+// crowbench -j flag). Default 1: plans execute sequentially, in declaration
+// order.
+func Workers(n int) RunnerOption { return func(c *runnerConfig) { c.workers = n } }
+
+// Timeout bounds each simulation's wall-clock time; a run past its deadline
+// fails with context.DeadlineExceeded. Zero (the default) means no limit.
+func Timeout(d time.Duration) RunnerOption { return func(c *runnerConfig) { c.timeout = d } }
+
+// Observe attaches a structured per-run event observer (queued, started,
+// finished, cache-hit) for live progress output.
+func Observe(obs engine.Observer) RunnerOption { return func(c *runnerConfig) { c.observer = obs } }
+
+// WithContext makes every run answer to ctx, so canceling it interrupts
+// in-flight simulations and aborts the sweep.
+func WithContext(ctx context.Context) RunnerOption { return func(c *runnerConfig) { c.ctx = ctx } }
+
+// NewRunner builds a Runner at the given scale. Without options it behaves
+// like the historical sequential runner: one worker, no timeout.
+func NewRunner(s Scale, opts ...RunnerOption) *Runner {
+	cfg := runnerConfig{workers: 1, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var popts []engine.Option[crow.Report]
+	if cfg.timeout > 0 {
+		popts = append(popts, engine.WithTimeout[crow.Report](cfg.timeout))
+	}
+	if cfg.observer != nil {
+		popts = append(popts, engine.WithObserver[crow.Report](cfg.observer))
+	}
+	return &Runner{
+		Scale: s,
+		pool:  engine.New(cfg.workers, popts...),
+		ctx:   cfg.ctx,
+	}
 }
 
-// Run executes (or recalls) one simulation.
-func (r *Runner) Run(o crow.Options) crow.Report {
+// Workers returns the runner's concurrency bound.
+func (r *Runner) Workers() int { return r.pool.Workers() }
+
+// scaled pins the scale-controlled fields, making options canonical for
+// keying: the same transformation applies in Run and Execute, so a planned
+// run and its reduce-phase re-request always share a cache entry.
+func (r *Runner) scaled(o crow.Options) crow.Options {
 	o.MeasureInsts = r.Scale.Insts
 	o.WarmupInsts = r.Scale.Warmup
 	if o.Seed == 0 {
 		o.Seed = r.Scale.Seed
 	}
-	key := optKey(o)
-	if rep, ok := r.cache[key]; ok {
-		return rep
+	return o
+}
+
+// runLabel is the human-readable job description carried by observer
+// events: mechanism, workloads, and whatever non-default knobs tell apart
+// the sweep points of a figure (copy rows, density, LLC size, ...).
+func runLabel(o crow.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s", o.Mechanism, strings.Join(o.Workloads, "+"))
+	if o.CopyRows != 0 {
+		fmt.Fprintf(&b, " n=%d", o.CopyRows)
 	}
-	rep, err := crow.Run(o)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %v", err))
+	if o.DensityGbit != 0 {
+		fmt.Fprintf(&b, " %dGb", o.DensityGbit)
 	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %s on %v", o.Mechanism, o.Workloads))
+	if o.LLCBytes != 0 {
+		fmt.Fprintf(&b, " llc=%dMiB", o.LLCBytes>>20)
 	}
-	r.cache[key] = rep
-	return rep
+	if o.Prefetch {
+		b.WriteString(" +pf")
+	}
+	if o.PerBankRefresh {
+		b.WriteString(" refpb")
+	}
+	if o.RefreshPostpone != 0 {
+		fmt.Fprintf(&b, " postpone=%d", o.RefreshPostpone)
+	}
+	if o.TableShareGroup > 1 {
+		fmt.Fprintf(&b, " share=%d", o.TableShareGroup)
+	}
+	return b.String()
+}
+
+// Run executes (or recalls) one simulation. A failed run returns its error
+// rather than panicking; the engine propagates it to the CLIs.
+func (r *Runner) Run(o crow.Options) (crow.Report, error) {
+	o = r.scaled(o)
+	return r.pool.Do(r.ctx, o.Key(), runLabel(o), func(ctx context.Context) (crow.Report, error) {
+		return crow.RunContext(ctx, o)
+	})
+}
+
+// Execute runs a declared plan: every distinct simulation in opts executes
+// once, concurrently up to the worker bound, and the results are memoized
+// for the reduce phase. Duplicate plan entries (and runs shared between
+// experiments) coalesce by canonical key. It returns the first run error.
+func (r *Runner) Execute(opts []crow.Options) error {
+	return engine.All(r.ctx, r.pool, opts,
+		func(o crow.Options) (string, string, func(context.Context) (crow.Report, error)) {
+			o = r.scaled(o)
+			return o.Key(), runLabel(o), func(ctx context.Context) (crow.Report, error) {
+				return crow.RunContext(ctx, o)
+			}
+		})
 }
 
 // singleApps returns the single-core experiment suite: every non-synthetic
 // app (or the configured subset), sorted by descending memory intensity.
+// An unknown name in Scale.SingleApps panics: it is a configuration error,
+// caught by CLI flag validation before a Runner exists.
 func (r *Runner) singleApps() []trace.App {
 	var apps []trace.App
 	if r.Scale.SingleApps != nil {
@@ -164,18 +253,44 @@ func (r *Runner) singleApps() []trace.App {
 
 // aloneIPC returns the app's baseline alone-run IPC under the given
 // environment options (LLC size, density, window), memoized.
-func (r *Runner) aloneIPC(app string, env crow.Options) float64 {
+func (r *Runner) aloneIPC(app string, env crow.Options) (float64, error) {
+	rep, err := r.Run(aloneOpts(app, env))
+	if err != nil {
+		return 0, err
+	}
+	return rep.IPC[0], nil
+}
+
+// aloneOpts is the alone-run baseline configuration for one app under env;
+// plan phases declare these as dependencies of every weighted-speedup
+// figure so the recursive baseline runs parallelize too.
+func aloneOpts(app string, env crow.Options) crow.Options {
 	env.Mechanism = crow.Baseline
 	env.Workloads = []string{app}
-	return r.Run(env).IPC[0]
+	return env
+}
+
+// alonePlan declares the alone-run baselines for a set of multi-core mixes.
+func alonePlan(mixes []trace.Mix, env crow.Options) []crow.Options {
+	var opts []crow.Options
+	for _, mix := range mixes {
+		for _, app := range trace.Names(mix.Apps) {
+			opts = append(opts, aloneOpts(app, env))
+		}
+	}
+	return opts
 }
 
 // ws computes the weighted speedup of a multi-core report against baseline
 // alone runs under env.
-func (r *Runner) ws(rep crow.Report, apps []string, env crow.Options) float64 {
+func (r *Runner) ws(rep crow.Report, apps []string, env crow.Options) (float64, error) {
 	alone := make([]float64, len(apps))
 	for i, a := range apps {
-		alone[i] = r.aloneIPC(a, env)
+		ipc, err := r.aloneIPC(a, env)
+		if err != nil {
+			return 0, err
+		}
+		alone[i] = ipc
 	}
-	return metrics.WeightedSpeedup(rep.IPC, alone)
+	return metrics.WeightedSpeedup(rep.IPC, alone), nil
 }

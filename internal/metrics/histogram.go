@@ -93,6 +93,16 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.max
 }
 
+// Reset discards every recorded value, returning the histogram to its
+// freshly-constructed state (used at measurement start, after warmup).
+func (h *Histogram) Reset() {
+	h.buckets = make(map[int]int64)
+	h.count = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}
+
 // Merge folds another histogram into this one.
 func (h *Histogram) Merge(o *Histogram) {
 	for k, c := range o.buckets {

@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+
 	"crowdram/internal/cache"
 	"crowdram/internal/core"
 	"crowdram/internal/cpu"
@@ -74,8 +76,9 @@ type Result struct {
 	LLC        cache.Stats
 	AvgReadNs  float64
 	// ReadP50Ns/ReadP99Ns bound the 50th/99th-percentile demand read
-	// latency (log-bucket upper bounds), aggregated over channels and
-	// the whole run including warmup.
+	// latency (log-bucket upper bounds), aggregated over channels for
+	// the measured interval only (the latency histograms reset at
+	// measurement start, like every other stat).
 	ReadP50Ns   float64
 	ReadP99Ns   float64
 	RefreshMult int
@@ -204,10 +207,28 @@ func (s *System) allReached(target int64) bool {
 
 // Run executes warmup then measurement and returns the results.
 func (s *System) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// cancelCheckMask gates how often the run loop polls its context: every
+// 2^14 CPU cycles. One poll is an atomic load amortized over 16k full
+// system ticks (far below noise), while even the smallest useful runs
+// (~tens of thousands of cycles) still hit several polls, so short
+// timeouts and Ctrl-C take effect mid-run rather than after it.
+const cancelCheckMask = 1<<14 - 1
+
+// RunContext is Run with cooperative cancellation: the simulation loop
+// polls ctx periodically and abandons the run (returning ctx's error) once
+// it is canceled or past its deadline.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	// Warmup.
 	warmLimit := s.Cfg.WarmupInsts*int64(len(s.Cores))*10_000 + 10_000_000
 	for !s.allReached(s.Cfg.WarmupInsts) && s.cpuCycle < warmLimit {
 		s.tick()
+		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 	}
 	// Reset measurement state.
 	startDRAM := s.dramCycle
@@ -221,6 +242,9 @@ func (s *System) Run() Result {
 	if cw, ok := s.Mech.(*core.CROW); ok {
 		crowSnap = cw.Stats
 	}
+	for _, c := range s.Ctrls {
+		c.ReadLatency.Reset()
+	}
 	s.LLC.ResetStats()
 	for _, c := range s.Cores {
 		c.ResetStats()
@@ -233,6 +257,9 @@ func (s *System) Run() Result {
 	limit := s.cpuCycle + target*int64(len(s.Cores))*10_000 + 50_000_000
 	for s.cpuCycle < limit {
 		s.tick()
+		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		doneAll := true
 		for i, c := range s.Cores {
 			if finish[i] == 0 && c.Retired >= target {
@@ -283,7 +310,7 @@ func (s *System) Run() Result {
 	if cw, ok := s.Mech.(*core.CROW); ok {
 		res.CROW = diffCROW(cw.Stats, crowSnap)
 	}
-	return res
+	return res, nil
 }
 
 func diffDram(a, b dram.Stats) dram.Stats {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"crowdram/internal/core"
@@ -202,6 +204,44 @@ func TestPrefetchImprovesStreaming(t *testing.T) {
 	}
 	if on.IPC[0] <= off.IPC[0] {
 		t.Errorf("prefetching must speed up streaming: %.4f vs %.4f", on.IPC[0], off.IPC[0])
+	}
+}
+
+func TestReadPercentilesCoverOnlyMeasuredInterval(t *testing.T) {
+	// The latency histograms must reset at measurement start: after a run,
+	// the recorded sample count equals the measured-interval demand reads,
+	// not the whole-run count (which includes warmup).
+	cfg := smallCfg(0)
+	cfg.WarmupInsts = 20_000
+	cfg.MeasureInsts = 20_000
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	res := s.Run()
+	var samples int64
+	for _, c := range s.Ctrls {
+		samples += c.ReadLatency.Count()
+	}
+	if samples == 0 {
+		t.Fatal("no read latency samples recorded")
+	}
+	// ReadsServed (diffed over the measured interval) includes prefetch
+	// reads; with no prefetcher it must match the histogram exactly.
+	if samples != res.Ctrl.ReadsServed {
+		t.Errorf("histogram holds %d samples, measured interval served %d reads "+
+			"(warmup must not leak into the percentiles)", samples, res.Ctrl.ReadsServed)
+	}
+	if res.ReadP50Ns <= 0 || res.ReadP99Ns < res.ReadP50Ns {
+		t.Errorf("implausible percentiles: p50 %.0f, p99 %.0f", res.ReadP50Ns, res.ReadP99Ns)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := smallCfg(0)
+	cfg.MeasureInsts = 10_000_000 // far more than we let it run
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext on a canceled context = %v, want context.Canceled", err)
 	}
 }
 
