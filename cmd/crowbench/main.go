@@ -40,6 +40,7 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "random seed")
 		jobs    = flag.Int("j", 1, "max simulations in flight (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		verify  = flag.Bool("verify", false, "run the correctness oracle alongside every simulation; violations fail the run")
 		verbose = flag.Bool("v", false, "print progress per simulation run")
 	)
 	flag.Parse()
@@ -66,6 +67,9 @@ func run() error {
 	ropts := []exp.RunnerOption{exp.Workers(*jobs), exp.WithContext(ctx)}
 	if *timeout > 0 {
 		ropts = append(ropts, exp.Timeout(*timeout))
+	}
+	if *verify {
+		ropts = append(ropts, exp.Verify())
 	}
 	if *verbose {
 		ropts = append(ropts, exp.Observe(progress))

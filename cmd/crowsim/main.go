@@ -20,6 +20,7 @@ import (
 
 	"crowdram/crow"
 	"crowdram/internal/engine"
+	"crowdram/internal/metrics"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		share    = flag.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
 		perBank  = flag.Bool("refpb", false, "use LPDDR4 per-bank refresh")
 		postpone = flag.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
+		verify   = flag.Bool("verify", false, "run the correctness oracle alongside the simulation and report violations")
 		compare  = flag.Bool("compare", false, "also run the baseline and report speedup/energy savings")
 		jobs     = flag.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
@@ -73,6 +75,7 @@ func main() {
 		TableShareGroup: *share,
 		PerBankRefresh:  *perBank,
 		RefreshPostpone: *postpone,
+		Verify:          *verify,
 	}
 
 	// Ctrl-C cancels in-flight simulations.
@@ -106,9 +109,27 @@ func main() {
 	}
 	if *asJSON {
 		emitJSON(rep)
+		if *verify && rep.Violations > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 	printReport(rep)
+	if *verify {
+		if rep.Violations == 0 {
+			fmt.Println("verification: ok (0 oracle violations)")
+		} else {
+			fmt.Printf("verification: FAILED, %d violations\n", rep.Violations)
+			counts := metrics.Counters(rep.ViolationCounts)
+			for _, class := range counts.Names() {
+				fmt.Printf("  %s: %d\n", class, counts[class])
+			}
+			for _, s := range rep.ViolationSamples {
+				fmt.Printf("  sample: %s\n", s)
+			}
+			os.Exit(1)
+		}
+	}
 }
 
 // compareParallel runs the mechanism, baseline, and (for multi-core options)

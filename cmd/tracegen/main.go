@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,39 +18,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		app  = flag.String("app", "mcf", "application name (see -list)")
-		n    = flag.Int("n", 100_000, "number of records to emit")
-		out  = flag.String("o", "", "output file (default stdout)")
-		seed = flag.Int64("seed", 1, "random seed")
-		list = flag.Bool("list", false, "list available applications and exit")
+		app  = fs.String("app", "mcf", "application name (see -list)")
+		n    = fs.Int("n", 100_000, "number of records to emit")
+		out  = fs.String("o", "", "output file (default stdout)")
+		seed = fs.Int64("seed", 1, "random seed")
+		list = fs.Bool("list", false, "list available applications and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println(strings.Join(trace.Names(trace.Apps), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(trace.Names(trace.Apps), "\n"))
+		return nil
 	}
 
 	a, err := trace.ByName(*app)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := trace.Write(w, a.Gen(*seed), *n); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return trace.Write(w, a.Gen(*seed), *n)
 }

@@ -133,6 +133,13 @@ type Options struct {
 	// while demand is queued (JEDEC permits 8; elastic refresh [107]).
 	RefreshPostpone int
 
+	// Verify runs the cross-layer correctness oracle alongside the
+	// simulation (shadow data memory, refresh-deadline monitor,
+	// scheduler-legality and accounting checks; see internal/oracle). Any
+	// violations are reported in Report.ViolationCounts. Roughly doubles
+	// simulation time.
+	Verify bool
+
 	// MeasureInsts is the per-core instruction budget (default 500k;
 	// the paper uses 200M — scale up for tighter numbers).
 	MeasureInsts int64
@@ -247,6 +254,14 @@ type Report struct {
 	ChipAreaOverhead float64
 	// CapacityOverhead is the DRAM storage the substrate reserves.
 	CapacityOverhead float64
+
+	// Violations is the correctness oracle's total violation count (always
+	// zero unless Options.Verify was set — and, absent bugs, with it).
+	Violations int64
+	// ViolationCounts breaks Violations down by invariant class;
+	// ViolationSamples holds the first violations verbatim.
+	ViolationCounts  map[string]int64
+	ViolationSamples []string
 }
 
 // EnergyBreakdown is the DRAM energy split in nanojoules.
@@ -388,6 +403,7 @@ func build(o Options) (sim.Config, core.Mechanism, error) {
 	cfg.PerBankRefresh = o.PerBankRefresh
 	cfg.MaxPostpone = o.RefreshPostpone
 	cfg.Prefetch = o.Prefetch
+	cfg.Verify = o.Verify
 	cfg.WarmupInsts = o.WarmupInsts
 	cfg.MeasureInsts = o.MeasureInsts
 	cfg.Seed = o.Seed
@@ -491,6 +507,13 @@ func report(o Options, cfg sim.Config, mech core.Mechanism, res sim.Result) Repo
 		AvgReadLatencyNs: res.AvgReadNs,
 		ReadLatencyP50Ns: res.ReadP50Ns,
 		ReadLatencyP99Ns: res.ReadP99Ns,
+	}
+	if o.Verify {
+		r.Violations = res.Verify.Total()
+		if len(res.Verify.Counts) > 0 {
+			r.ViolationCounts = res.Verify.Counts
+		}
+		r.ViolationSamples = res.Verify.Samples
 	}
 	if hm := res.Ctrl.RowHits + res.Ctrl.RowMisses; hm > 0 {
 		r.RowHitRate = float64(res.Ctrl.RowHits) / float64(hm)

@@ -1,0 +1,30 @@
+package crow
+
+import "testing"
+
+// TestVerifyAllMechanismsClean runs every mechanism at reduced scale with
+// the correctness oracle attached: the shadow data memory, refresh-deadline
+// monitor, and scheduler/accounting checks must all stay silent.
+func TestVerifyAllMechanismsClean(t *testing.T) {
+	mechs := []Mechanism{
+		Baseline, Cache, Ref, CacheRef, Hammer,
+		IdealCache, IdealNoRefresh, TLDRAM, SALP, RAIDR, ChargeCache,
+	}
+	for _, m := range mechs {
+		t.Run(string(m), func(t *testing.T) {
+			rep, err := Run(Options{
+				Mechanism:    m,
+				Workloads:    []string{"mcf", "lbm"},
+				Verify:       true,
+				MeasureInsts: 20_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violations != 0 {
+				t.Fatalf("oracle violations: %v\nsamples: %v",
+					rep.ViolationCounts, rep.ViolationSamples)
+			}
+		})
+	}
+}

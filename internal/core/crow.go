@@ -158,15 +158,34 @@ func (c *CROW) LoadProfile(p *retention.Profile) {
 // (triggering the refresh-interval fallback).
 func (c *CROW) RemapDynamic(a dram.Addr) bool {
 	set := c.Table.Set(a)
-	if w := c.Table.Lookup(a); w >= 0 && set[w].Kind == EntryRef {
-		return true // already remapped
+	if w := c.Table.Lookup(a); w >= 0 {
+		switch set[w].Kind {
+		case EntryRef, EntryHammer:
+			return true // already remapped
+		case EntryCache:
+			// The row is already duplicated by CROW-cache: convert the
+			// entry in place (allocating a second way for the same row
+			// would leave two entries racing for lookups). A fully
+			// restored pair is already a coherent duplicate; a partial
+			// one still needs the ACT-c.
+			set[w].Kind = EntryRef
+			if set[w].FullyRestored {
+				return true
+			}
+			set[w].FullyRestored = true
+			set[w].CopyPending = true
+			c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
+				Addr: a, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
+			})
+			return true
+		}
 	}
 	w := FreeWay(set)
 	if w < 0 {
 		c.Stats.Fallback = true
 		return false
 	}
-	set[w] = Entry{Allocated: true, RegularRow: c.Table.Geo.RowInSubarray(a.Row), SubTag: c.Table.SubTag(a), Kind: EntryRef, FullyRestored: true}
+	set[w] = Entry{Allocated: true, RegularRow: c.Table.Geo.RowInSubarray(a.Row), SubTag: c.Table.SubTag(a), Kind: EntryRef, FullyRestored: true, CopyPending: true}
 	c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
 		Addr: a, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
 	})
@@ -179,6 +198,12 @@ func (c *CROW) PlanActivate(a dram.Addr, cycle int64) ActDecision {
 	if w := c.Table.Lookup(a); w >= 0 {
 		switch set[w].Kind {
 		case EntryRef, EntryHammer:
+			if set[w].CopyPending {
+				// The remap's data copy has not executed yet, so the
+				// copy row is stale: perform the copy with this
+				// activation instead of redirecting to it.
+				return ActDecision{Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull}
+			}
 			// The regular row is remapped: activate the copy row
 			// alone at baseline timings (Section 4.2.2).
 			return ActDecision{Kind: dram.ActCopyRow, CopyRow: w, Timing: c.base}
@@ -253,6 +278,15 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 		c.Stats.Hits++
 		set[d.CopyRow].lastUse = cycle
 	case dram.ActCopy:
+		if e := &set[d.CopyRow]; e.Allocated && e.Kind != EntryCache &&
+			e.RegularRow == c.Table.Geo.RowInSubarray(a.Row) && e.SubTag == c.Table.SubTag(a) {
+			// A demand activation performing a pending remap copy: the
+			// entry stays a CROW-ref/RowHammer remap. CopyPending clears
+			// at precharge, once restoration of the pair completes.
+			c.Stats.Copies++
+			e.lastUse = cycle
+			break
+		}
 		c.Stats.Misses++
 		c.Stats.Copies++
 		if set[d.CopyRow].Allocated {
@@ -285,12 +319,23 @@ func (c *CROW) OnPrecharge(a dram.Addr, openRow int, fullyRestored bool, cycle i
 	row := c.Table.Geo.RowInSubarray(openRow)
 	tag := c.Table.SubTag(probe)
 	for w := range set {
-		if set[w].Allocated && set[w].Kind == EntryCache &&
-			set[w].RegularRow == row && set[w].SubTag == tag {
+		if !set[w].Allocated || set[w].RegularRow != row || set[w].SubTag != tag {
+			continue
+		}
+		if set[w].Kind == EntryCache {
 			set[w].FullyRestored = fullyRestored
 			if !fullyRestored && c.Scrub {
 				c.partials[a.Channel] = append(c.partials[a.Channel], probe)
 			}
+			return
+		}
+		if set[w].CopyPending && fullyRestored {
+			// While a remap copy is pending, every activation of the
+			// regular row is an ACT-c into this way (PlanActivate and
+			// the controller's copy path both plan it so); a fully
+			// restored precharge therefore means the duplicate is now
+			// coherent and redirection may begin.
+			set[w].CopyPending = false
 			return
 		}
 	}
@@ -335,14 +380,21 @@ func (c *CROW) RefreshMultiplier() int {
 }
 
 // NextCopy pops a pending mechanism-initiated copy for the channel, if any.
+// Ops whose remap entry was already copied by a demand activation (or
+// replaced outright) are stale and skipped.
 func (c *CROW) NextCopy(channel int) (CopyOp, bool) {
-	q := c.pendingCopies[channel]
-	if len(q) == 0 {
-		return CopyOp{}, false
+	for len(c.pendingCopies[channel]) > 0 {
+		op := c.pendingCopies[channel][0]
+		c.pendingCopies[channel] = c.pendingCopies[channel][1:]
+		set := c.Table.Set(op.Addr)
+		e := &set[op.CopyRow]
+		if !e.CopyPending || e.Kind == EntryCache ||
+			e.RegularRow != c.Table.Geo.RowInSubarray(op.Addr.Row) || e.SubTag != c.Table.SubTag(op.Addr) {
+			continue
+		}
+		return op, true
 	}
-	op := q[0]
-	c.pendingCopies[channel] = q[1:]
-	return op, true
+	return CopyOp{}, false
 }
 
 // NextScrub pops a partially-restored pair awaiting an idle-cycle full
@@ -392,8 +444,21 @@ func (c *CROW) countHammer(a dram.Addr) {
 		}
 		victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: vr}
 		set := c.Table.Set(victim)
-		if w := c.Table.Lookup(victim); w >= 0 && set[w].Kind != EntryCache {
-			continue // already protected
+		if w := c.Table.Lookup(victim); w >= 0 {
+			if set[w].Kind != EntryCache {
+				continue // already protected
+			}
+			// The victim is already duplicated by CROW-cache: convert
+			// the entry in place (a second way for the same row would
+			// leave two entries racing for lookups). A fully restored
+			// pair is already coherent; a partial one must wait for its
+			// restore, so protection is retried later.
+			if !set[w].FullyRestored {
+				continue
+			}
+			set[w].Kind = EntryHammer
+			c.Stats.HamRemaps++
+			continue
 		}
 		w := FreeWay(set)
 		if w < 0 {
@@ -408,7 +473,7 @@ func (c *CROW) countHammer(a dram.Addr) {
 			// and let a later activation re-trigger protection.
 			continue
 		}
-		set[w] = Entry{Allocated: true, RegularRow: g.RowInSubarray(vr), SubTag: c.Table.SubTag(victim), Kind: EntryHammer, FullyRestored: true}
+		set[w] = Entry{Allocated: true, RegularRow: g.RowInSubarray(vr), SubTag: c.Table.SubTag(victim), Kind: EntryHammer, FullyRestored: true, CopyPending: true}
 		c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
 			Addr: victim, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
 		})

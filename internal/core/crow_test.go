@@ -262,22 +262,35 @@ func TestHammerRemapsVictims(t *testing.T) {
 	if c.Stats.HamRemaps != 2 {
 		t.Fatalf("HamRemaps = %d, want 2 (rows 99 and 101)", c.Stats.HamRemaps)
 	}
+	// Until the ACT-c data copy executes, the copy row is stale: victim
+	// activations must perform the copy, not redirect to the copy row.
 	for _, vr := range []int{99, 101} {
 		d := c.PlanActivate(dram.Addr{Row: vr}, 100)
-		if d.Kind != dram.ActCopyRow {
-			t.Errorf("victim row %d must be remapped, got %v", vr, d.Kind)
+		if d.Kind != dram.ActCopy {
+			t.Errorf("victim row %d with pending copy must plan ACT-c, got %v", vr, d.Kind)
 		}
 	}
 	// The data copies must be queued for the controller.
 	ops := 0
 	for {
-		if _, ok := c.NextCopy(0); !ok {
+		op, ok := c.NextCopy(0)
+		if !ok {
 			break
 		}
+		// Simulate the controller completing the copy: ACT-c then a
+		// fully-restored precharge.
+		c.OnPrecharge(op.Addr, op.Addr.Row, true, 200)
 		ops++
 	}
 	if ops != 2 {
 		t.Errorf("pending copies = %d, want 2", ops)
+	}
+	// With the copies done, victim activations redirect to the copy rows.
+	for _, vr := range []int{99, 101} {
+		d := c.PlanActivate(dram.Addr{Row: vr}, 300)
+		if d.Kind != dram.ActCopyRow {
+			t.Errorf("victim row %d must be remapped after the copy, got %v", vr, d.Kind)
+		}
 	}
 	// Counters reset when the refresh counter wraps.
 	c.OnRefreshRows(0, 0, -1, 0, 8)
@@ -327,15 +340,22 @@ func TestDynamicRemap(t *testing.T) {
 	if !c.RemapDynamic(a) {
 		t.Error("remapping an already-remapped row is a no-op success")
 	}
-	if op, ok := c.NextCopy(0); !ok || op.Addr.Row != 77 {
-		t.Error("dynamic remap must queue exactly one data copy")
+	d := c.PlanActivate(a, 0)
+	if d.Kind != dram.ActCopy {
+		t.Errorf("remapped row with pending copy must plan ACT-c, got %v", d.Kind)
+	}
+	op, ok := c.NextCopy(0)
+	if !ok || op.Addr.Row != 77 {
+		t.Fatal("dynamic remap must queue exactly one data copy")
 	}
 	if _, ok := c.NextCopy(0); ok {
 		t.Error("no second pending copy expected")
 	}
-	d := c.PlanActivate(a, 0)
+	// Complete the copy: the remapped row then redirects to its copy row.
+	c.OnPrecharge(op.Addr, op.Addr.Row, true, 100)
+	d = c.PlanActivate(a, 200)
 	if d.Kind != dram.ActCopyRow {
-		t.Errorf("remapped row must redirect, got %v", d.Kind)
+		t.Errorf("remapped row must redirect after the copy, got %v", d.Kind)
 	}
 }
 

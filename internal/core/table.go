@@ -36,7 +36,13 @@ type Entry struct {
 	// FullyRestored tracks whether the pair was last precharged after a
 	// full restoration (the paper's isFullyRestored bit, Section 4.1.4).
 	FullyRestored bool
-	lastUse       int64
+	// CopyPending marks a CROW-ref/RowHammer remap whose ACT-c data copy
+	// has not executed yet. Until it clears, the copy row holds stale
+	// data: activations of the regular row must perform the copy (the
+	// mechanism plans them as ACT-c) instead of being redirected to the
+	// copy row.
+	CopyPending bool
+	lastUse     int64
 }
 
 // Touch updates the entry's LRU timestamp.

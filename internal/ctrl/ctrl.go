@@ -421,7 +421,11 @@ func (c *Controller) serviceMechCopy(now int64) bool {
 			pc.op.Timing = c.Cfg.T.Base()
 		}
 		if c.Dev.CanACT(a, now, kind) {
-			c.Dev.ACT(a, now, kind, pc.op.Timing)
+			copyRow := pc.op.CopyRow
+			if kind == dram.ActSingle {
+				copyRow = -1
+			}
+			c.Dev.ACT(a, now, kind, pc.op.Timing, copyRow)
 			pc.active = true
 			pc.actAt = now
 			c.Stats.MechCopies++
@@ -543,7 +547,7 @@ func (c *Controller) progress(r *Request, now int64) bool {
 	if d.RestoreFirst {
 		ra := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: d.RestoreRow}
 		if c.Dev.CanACT(ra, now, dram.ActTwo) {
-			c.Dev.ACT(ra, now, dram.ActTwo, d.RestoreTiming)
+			c.Dev.ACT(ra, now, dram.ActTwo, d.RestoreTiming, d.RestoreCopyRow)
 			c.Mech.OnActivate(ra, core.ActDecision{
 				Kind: dram.ActTwo, CopyRow: d.RestoreCopyRow,
 				Timing: d.RestoreTiming, RestoreFirst: true,
@@ -555,7 +559,14 @@ func (c *Controller) progress(r *Request, now int64) bool {
 		return false
 	}
 	if c.Dev.CanACT(a, now, d.Kind) {
-		c.Dev.ACT(a, now, d.Kind, d.Timing)
+		copyRow := d.CopyRow
+		if d.Kind == dram.ActSingle {
+			// Single-row activations carry no copy-row operand. (TL-DRAM
+			// reuses CopyRow to name its near row, but that is mechanism
+			// bookkeeping, not part of the command.)
+			copyRow = -1
+		}
+		c.Dev.ACT(a, now, d.Kind, d.Timing, copyRow)
 		c.Mech.OnActivate(a, d, now)
 		c.hitsServed[c.key(a)] = 0
 		c.bankLast[c.bankKey(a)] = now
@@ -652,7 +663,7 @@ func (c *Controller) serviceScrub(now int64) {
 		sc.RequeueScrub(c.Cfg.ChannelID, op.Addr)
 		return
 	}
-	c.Dev.ACT(op.Addr, now, op.Kind, op.Timing)
+	c.Dev.ACT(op.Addr, now, op.Kind, op.Timing, op.CopyRow)
 	c.hitsServed[c.key(op.Addr)] = 0
 	c.lastScrub = now
 	c.Stats.Scrubs++

@@ -223,8 +223,7 @@ func TestCROWCacheEndToEnd(t *testing.T) {
 	mech := core.NewCROW(1, g, tm)
 	mech.Cache = true
 	c := New(DefaultConfig(0, g, tm), mech)
-	k := dram.NewChecker(g, tm, false)
-	k.Attach(c.Dev)
+	k := dram.NewChecker(c.Dev)
 
 	done := 0
 	cb := func(int64) { done++ }
@@ -307,8 +306,7 @@ func TestRandomTrafficObeysProtocol(t *testing.T) {
 			ctrlCfg.MASA = cfg.masa
 			ctrlCfg.OpenPage = cfg.open
 			c := New(ctrlCfg, cfg.mech(g, tm))
-			k := dram.NewChecker(g, tm, cfg.masa)
-			k.Attach(c.Dev)
+			k := dram.NewChecker(c.Dev)
 
 			rng := rand.New(rand.NewSource(1))
 			const total = 300

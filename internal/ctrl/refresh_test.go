@@ -118,8 +118,7 @@ func TestPerBankRefreshWithCROWRef(t *testing.T) {
 	cfg := DefaultConfig(0, g, tm)
 	cfg.PerBankRefresh = true
 	c := New(cfg, mech)
-	k := dram.NewChecker(g, tm, false)
-	k.Attach(c.Dev)
+	k := dram.NewChecker(c.Dev)
 	done := 0
 	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done++ }}, 0)
 	run(t, c, int64(tm.REFI)+2000, func() bool {

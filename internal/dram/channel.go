@@ -71,6 +71,31 @@ type Stats struct {
 // Activations returns the total number of activate commands of all kinds.
 func (s *Stats) Activations() int64 { return s.ACT + s.ACTTwo + s.ACTCopy + s.ACTCopyRow }
 
+// CmdEvent describes one command issued by the channel, as seen on the
+// command bus. It carries everything an external monitor needs to replay the
+// device's visible behaviour: the command, its full address (including the
+// copy-row operand of CROW activations), the activation timing plan, and —
+// for PRE — whether the closing activation met its full-restoration window.
+type CmdEvent struct {
+	Cmd     Command
+	Addr    Addr
+	Cycle   int64
+	Kind    ActKind    // activate commands only
+	CopyRow int        // copy-row operand of CROW activations; -1 if none
+	Plan    ActTimings // activate commands only
+	// FullyRestored is meaningful for PRE: whether the closed activation
+	// was held open for at least its plan's full-restoration time.
+	FullyRestored bool
+}
+
+// CommandObserver receives every command a channel issues, in issue order.
+// Unlike Checker (which re-validates intra-channel timing), an observer can
+// correlate commands across channels and against system-level state; the
+// correctness oracle in internal/oracle is one.
+type CommandObserver interface {
+	OnCommand(e CmdEvent)
+}
+
 // Channel is the cycle-accurate device model of one DRAM channel.
 //
 // The controller drives it with Can*/issue method pairs; the device enforces
@@ -94,6 +119,9 @@ type Channel struct {
 	// Check, when non-nil, independently re-validates every issued
 	// command against the raw command history (used by tests).
 	Check *Checker
+
+	// Obs, when non-nil, receives every issued command.
+	Obs CommandObserver
 
 	lastTick int64
 }
@@ -236,7 +264,12 @@ func (c *Channel) CanACT(a Addr, now int64, k ActKind) bool {
 }
 
 // ACT issues an activation of kind k with per-activation timings t.
-func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings) {
+//
+// copyRow is the copy-row operand carried by CROW's two-row and copy-row
+// commands (the extra command-bus cycle of footnote 3); pass -1 when the
+// activation involves no copy row. The device itself only records it — the
+// mechanism and the oracle give it meaning.
+func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings, copyRow int) {
 	if !c.CanACT(a, now, k) {
 		panic(fmt.Sprintf("dram: illegal %v to ch%d/r%d/b%d row %d at cycle %d", k, a.Channel, a.Rank, a.Bank, a.Row, now))
 	}
@@ -273,7 +306,10 @@ func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings) {
 		c.Stats.ActRasSingle += int64(t.RAS)
 	}
 	if c.Check != nil {
-		c.Check.RecordPlanned(cmdACTBase+Command(k), a, now, t)
+		c.Check.RecordPlanned(cmdACTBase+Command(k), a, now, t, copyRow)
+	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: cmdACTBase + Command(k), Addr: a, Cycle: now, Kind: k, CopyRow: copyRow, Plan: t})
 	}
 }
 
@@ -317,6 +353,9 @@ func (c *Channel) RD(a Addr, now int64) int64 {
 	c.Stats.RDBusyCycles += int64(c.T.BL)
 	if c.Check != nil {
 		c.Check.record(CmdRD, a, now)
+	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: CmdRD, Addr: a, Cycle: now, CopyRow: -1})
 	}
 	return dataStart + int64(c.T.BL)
 }
@@ -362,6 +401,9 @@ func (c *Channel) WR(a Addr, now int64) {
 	if c.Check != nil {
 		c.Check.record(CmdWR, a, now)
 	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: CmdWR, Addr: a, Cycle: now, CopyRow: -1})
+	}
 }
 
 // CanPRE reports whether the subarray holding a.Row may be precharged.
@@ -392,6 +434,9 @@ func (c *Channel) PRE(a Addr, now int64) (fullyRestored bool) {
 	c.Stats.PRE++
 	if c.Check != nil {
 		c.Check.record(CmdPRE, a, now)
+	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: CmdPRE, Addr: a, Cycle: now, CopyRow: -1, FullyRestored: full})
 	}
 	return full
 }
@@ -434,6 +479,9 @@ func (c *Channel) REFpb(rankID, bankID int, now int64) {
 	if c.Check != nil {
 		c.Check.record(CmdREFpb, Addr{Rank: rankID, Bank: bankID}, now)
 	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: CmdREFpb, Addr: Addr{Rank: rankID, Bank: bankID}, Cycle: now, CopyRow: -1})
+	}
 }
 
 // CanREF reports whether an all-bank refresh of the rank may issue: every
@@ -474,5 +522,8 @@ func (c *Channel) REF(rankID int, now int64) {
 	c.Stats.REF++
 	if c.Check != nil {
 		c.Check.record(CmdREF, Addr{Rank: rankID}, now)
+	}
+	if c.Obs != nil {
+		c.Obs.OnCommand(CmdEvent{Cmd: CmdREF, Addr: Addr{Rank: rankID}, Cycle: now, CopyRow: -1})
 	}
 }

@@ -7,8 +7,7 @@ func testChannel(t *testing.T, copyRows int) (*Channel, *Checker) {
 	g := Std(copyRows)
 	tm := LPDDR4(Density8Gb, 64, g)
 	c := NewChannel(g, tm)
-	k := NewChecker(g, tm, false)
-	k.Attach(c)
+	k := NewChecker(c)
 	return c, k
 }
 
@@ -27,7 +26,7 @@ func TestActivateReadPrechargeSequence(t *testing.T) {
 	if !c.CanACT(a, 0, ActSingle) {
 		t.Fatal("ACT to idle bank must be legal at cycle 0")
 	}
-	c.ACT(a, 0, ActSingle, base)
+	c.ACT(a, 0, ActSingle, base, -1)
 
 	if c.OpenRow(a) != 100 {
 		t.Errorf("OpenRow = %d, want 100", c.OpenRow(a))
@@ -70,7 +69,7 @@ func TestActivateReadPrechargeSequence(t *testing.T) {
 
 func TestReadToWrongRowIllegal(t *testing.T) {
 	c, _ := testChannel(t, 0)
-	c.ACT(Addr{Row: 1}, 0, ActSingle, c.T.Base())
+	c.ACT(Addr{Row: 1}, 0, ActSingle, c.T.Base(), -1)
 	if c.CanRD(Addr{Row: 2}, 100) {
 		t.Error("RD to a row other than the open one must be illegal")
 	}
@@ -78,7 +77,7 @@ func TestReadToWrongRowIllegal(t *testing.T) {
 
 func TestSingleOpenRowPerBank(t *testing.T) {
 	c, _ := testChannel(t, 0)
-	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base())
+	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base(), -1)
 	// Another subarray of the same bank: illegal without MASA.
 	if c.CanACT(Addr{Row: 512}, 1000, ActSingle) {
 		t.Error("second open row in one bank must be illegal without MASA")
@@ -94,15 +93,14 @@ func TestMASAAllowsMultipleOpenSubarrays(t *testing.T) {
 	tm := LPDDR4(Density8Gb, 64, g)
 	c := NewChannel(g, tm)
 	c.MASA = true
-	k := NewChecker(g, tm, true)
-	k.Attach(c)
+	k := NewChecker(c)
 
-	c.ACT(Addr{Row: 0}, 0, ActSingle, tm.Base())
+	c.ACT(Addr{Row: 0}, 0, ActSingle, tm.Base(), -1)
 	other := Addr{Row: 512} // different subarray, same bank
 	if !c.CanACT(other, int64(tm.RRD), ActSingle) {
 		t.Fatal("MASA must allow a second subarray activation in the same bank")
 	}
-	c.ACT(other, int64(tm.RRD), ActSingle, tm.Base())
+	c.ACT(other, int64(tm.RRD), ActSingle, tm.Base(), -1)
 	if c.OpenRow(Addr{Row: 0}) != 0 || c.OpenRow(other) != 512 {
 		t.Error("both subarrays must be open")
 	}
@@ -123,18 +121,17 @@ func TestTRRDAndTFAW(t *testing.T) {
 	tm := LPDDR4(Density8Gb, 64, g)
 	tm.RRD = 4
 	c := NewChannel(g, tm)
-	k := NewChecker(g, tm, false)
-	k.Attach(c)
+	k := NewChecker(c)
 	base := tm.Base()
 	rrd := int64(tm.RRD)
 
-	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base, -1)
 	if c.CanACT(Addr{Bank: 1, Row: 0}, rrd-1, ActSingle) {
 		t.Error("tRRD must gate back-to-back ACTs")
 	}
-	c.ACT(Addr{Bank: 1, Row: 0}, rrd, ActSingle, base)
-	c.ACT(Addr{Bank: 2, Row: 0}, 2*rrd, ActSingle, base)
-	c.ACT(Addr{Bank: 3, Row: 0}, 3*rrd, ActSingle, base)
+	c.ACT(Addr{Bank: 1, Row: 0}, rrd, ActSingle, base, -1)
+	c.ACT(Addr{Bank: 2, Row: 0}, 2*rrd, ActSingle, base, -1)
+	c.ACT(Addr{Bank: 3, Row: 0}, 3*rrd, ActSingle, base, -1)
 	// Fifth ACT within tFAW of the first must be illegal.
 	if c.CanACT(Addr{Bank: 4, Row: 0}, 4*rrd, ActSingle) {
 		t.Error("tFAW must gate the fifth ACT")
@@ -142,14 +139,14 @@ func TestTRRDAndTFAW(t *testing.T) {
 	if !c.CanACT(Addr{Bank: 4, Row: 0}, int64(tm.FAW), ActSingle) {
 		t.Error("fifth ACT at tFAW must be legal")
 	}
-	c.ACT(Addr{Bank: 4, Row: 0}, int64(tm.FAW), ActSingle, base)
+	c.ACT(Addr{Bank: 4, Row: 0}, int64(tm.FAW), ActSingle, base, -1)
 	requireClean(t, k)
 }
 
 func TestWriteRecoveryGatesPrecharge(t *testing.T) {
 	c, k := testChannel(t, 0)
 	a := Addr{Row: 7}
-	c.ACT(a, 0, ActSingle, c.T.Base())
+	c.ACT(a, 0, ActSingle, c.T.Base(), -1)
 	wrAt := int64(c.T.RCD)
 	c.WR(a, wrAt)
 	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
@@ -168,7 +165,7 @@ func TestMRAWriteRecoveryUsesPlan(t *testing.T) {
 	c, _ := testChannel(t, 8)
 	crow := c.T.CROW()
 	a := Addr{Row: 7}
-	c.ACT(a, 0, ActTwo, crow.TwoPartial)
+	c.ACT(a, 0, ActTwo, crow.TwoPartial, 0)
 	wrAt := int64(crow.TwoPartial.RCD)
 	c.WR(a, wrAt)
 	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
@@ -185,14 +182,14 @@ func TestPartialRestoreDetection(t *testing.T) {
 	c, _ := testChannel(t, 8)
 	crow := c.T.CROW()
 	a := Addr{Row: 3}
-	c.ACT(a, 0, ActTwo, crow.TwoFull)
+	c.ACT(a, 0, ActTwo, crow.TwoFull, 0)
 	// Closing at the reduced tRAS terminates restoration early.
 	if full := c.PRE(a, int64(crow.TwoFull.RAS)); full {
 		t.Error("PRE before default tRAS must report partial restoration")
 	}
 	// Reopen and hold past default tRAS: fully restored.
 	reACT := int64(crow.TwoFull.RAS) + int64(c.T.RP)
-	c.ACT(a, reACT, ActTwo, crow.TwoPartial)
+	c.ACT(a, reACT, ActTwo, crow.TwoPartial, 0)
 	if full := c.PRE(a, reACT+int64(c.T.RAS)); !full {
 		t.Error("PRE at/after default tRAS must report full restoration")
 	}
@@ -215,7 +212,7 @@ func TestRefreshBlocksRank(t *testing.T) {
 
 func TestRefreshRequiresClosedBanks(t *testing.T) {
 	c, _ := testChannel(t, 0)
-	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base())
+	c.ACT(Addr{Row: 0}, 0, ActSingle, c.T.Base(), -1)
 	if c.CanREF(0, 1000) {
 		t.Error("REF with an open row must be illegal")
 	}
@@ -232,7 +229,7 @@ func TestRefreshRequiresClosedBanks(t *testing.T) {
 func TestCROWCommandBusOccupancy(t *testing.T) {
 	c, _ := testChannel(t, 8)
 	crow := c.T.CROW()
-	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActTwo, crow.TwoFull)
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActTwo, crow.TwoFull, 0)
 	// The CROW activate holds the command bus for two cycles, so even a
 	// command to another bank cannot issue in the next cycle.
 	if c.CanACT(Addr{Bank: 1, Row: 0}, int64(c.T.RRD), ActSingle) {
@@ -244,7 +241,7 @@ func TestCROWCommandBusOccupancy(t *testing.T) {
 		t.Errorf("cmdBusFree = %d, want 2 after ACT-t", c.cmdBusFree)
 	}
 	c2, _ := testChannel(t, 8)
-	c2.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, c2.T.Base())
+	c2.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, c2.T.Base(), -1)
 	if c2.cmdBusFree != 1 {
 		t.Errorf("cmdBusFree = %d, want 1 after plain ACT", c2.cmdBusFree)
 	}
@@ -253,8 +250,8 @@ func TestCROWCommandBusOccupancy(t *testing.T) {
 func TestDataBusConflictAcrossBanks(t *testing.T) {
 	c, k := testChannel(t, 0)
 	base := c.T.Base()
-	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
-	c.ACT(Addr{Bank: 1, Row: 0}, int64(c.T.RRD), ActSingle, base)
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base, -1)
+	c.ACT(Addr{Bank: 1, Row: 0}, int64(c.T.RRD), ActSingle, base, -1)
 	// Read bank 0 once both banks have satisfied tRCD so that tCCD is the
 	// binding constraint for the second read.
 	rd1 := int64(c.T.RRD + c.T.RCD)
@@ -274,7 +271,7 @@ func TestDataBusConflictAcrossBanks(t *testing.T) {
 func TestWriteToReadTurnaround(t *testing.T) {
 	c, k := testChannel(t, 0)
 	base := c.T.Base()
-	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base)
+	c.ACT(Addr{Bank: 0, Row: 0}, 0, ActSingle, base, -1)
 	wrAt := int64(c.T.RCD)
 	c.WR(Addr{Bank: 0, Row: 0}, wrAt)
 	dataEnd := wrAt + int64(c.T.CWL) + int64(c.T.BL)
@@ -292,10 +289,10 @@ func TestWriteToReadTurnaround(t *testing.T) {
 func TestStatsCounting(t *testing.T) {
 	c, _ := testChannel(t, 8)
 	crow := c.T.CROW()
-	c.ACT(Addr{Row: 0}, 0, ActCopy, crow.Copy)
+	c.ACT(Addr{Row: 0}, 0, ActCopy, crow.Copy, 0)
 	c.PRE(Addr{Row: 0}, int64(crow.Copy.RAS))
 	next := int64(crow.Copy.RAS) + int64(c.T.RP)
-	c.ACT(Addr{Row: 0}, next, ActTwo, crow.TwoPartial)
+	c.ACT(Addr{Row: 0}, next, ActTwo, crow.TwoPartial, 0)
 	c.RD(Addr{Row: 0}, next+int64(crow.TwoPartial.RCD))
 	if c.Stats.ACTCopy != 1 || c.Stats.ACTTwo != 1 || c.Stats.PRE != 1 || c.Stats.RD != 1 {
 		t.Errorf("stats mismatch: %+v", c.Stats)
@@ -308,7 +305,7 @@ func TestStatsCounting(t *testing.T) {
 func TestTickAccumulatesOpenBufferCycles(t *testing.T) {
 	c, _ := testChannel(t, 0)
 	c.Tick(10) // nothing open yet
-	c.ACT(Addr{Row: 0}, 10, ActSingle, c.T.Base())
+	c.ACT(Addr{Row: 0}, 10, ActSingle, c.T.Base(), -1)
 	c.Tick(20)
 	if c.Stats.OpenBufferCycles != 10 {
 		t.Errorf("OpenBufferCycles = %d, want 10", c.Stats.OpenBufferCycles)

@@ -28,16 +28,17 @@ func (c Command) isACT() bool { return c >= CmdACT && c <= CmdACTcr }
 
 // event is one recorded command issue.
 type event struct {
-	cmd   Command
-	addr  Addr
-	cycle int64
-	plan  ActTimings // valid for activate commands
+	cmd     Command
+	addr    Addr
+	cycle   int64
+	plan    ActTimings // valid for activate commands
+	copyRow int        // copy-row operand of activate commands; -1 if none
 }
 
 // Checker independently re-validates a channel's command stream against the
 // raw history, using a separate implementation of the timing rules from the
-// Channel state machine. Attach one to Channel.Check in tests; any violation
-// is reported through the Violations slice.
+// Channel state machine. Any violation is reported through the Violations
+// slice.
 type Checker struct {
 	Geo  Geometry
 	T    Timing
@@ -47,16 +48,14 @@ type Checker struct {
 	Violations []string
 }
 
-// NewChecker builds a checker for a channel with the given configuration.
-func NewChecker(g Geometry, t Timing, masa bool) *Checker {
-	return &Checker{Geo: g, T: t, MASA: masa}
-}
-
-// Attach connects the checker to a channel so every issued command is
-// validated.
-func (k *Checker) Attach(c *Channel) {
-	k.Geo, k.T, k.MASA = c.Geo, c.T, c.MASA
+// NewChecker builds a checker for the channel and attaches it, so every
+// subsequently issued command is validated. The checker takes its geometry,
+// timing, and MASA mode from the channel — there is exactly one construction
+// path, so they cannot disagree.
+func NewChecker(c *Channel) *Checker {
+	k := &Checker{Geo: c.Geo, T: c.T, MASA: c.MASA}
 	c.Check = k
+	return k
 }
 
 func (k *Checker) fail(e event, format string, args ...any) {
@@ -73,18 +72,18 @@ func sameSub(g Geometry, a, b Addr) bool {
 // simplicity the channel calls record and the checker recovers the plan for
 // activate commands from RecordPlan.
 func (k *Checker) record(cmd Command, a Addr, cycle int64) {
-	k.recordPlanned(cmd, a, cycle, ActTimings{})
+	k.recordPlanned(cmd, a, cycle, ActTimings{}, -1)
 }
 
 // RecordPlanned validates and appends a command with an explicit activation
 // plan (used for the activate variants, whose effective tRCD/tRAS/tWR depend
-// on the CROW timing plan).
-func (k *Checker) RecordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings) {
-	k.recordPlanned(cmd, a, cycle, plan)
+// on the CROW timing plan) and copy-row operand.
+func (k *Checker) RecordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings, copyRow int) {
+	k.recordPlanned(cmd, a, cycle, plan, copyRow)
 }
 
-func (k *Checker) recordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings) {
-	e := event{cmd: cmd, addr: a, cycle: cycle, plan: plan}
+func (k *Checker) recordPlanned(cmd Command, a Addr, cycle int64, plan ActTimings, copyRow int) {
+	e := event{cmd: cmd, addr: a, cycle: cycle, plan: plan, copyRow: copyRow}
 	if cmd.isACT() && plan == (ActTimings{}) {
 		// The channel's record path does not carry the plan; recover the
 		// baseline plan so tRCD/tRAS floors are still checked loosely.
@@ -145,6 +144,12 @@ func (k *Checker) validateCmdBus(e event) {
 func (k *Checker) validateACT(e event) {
 	if open := k.openACT(e.addr); open != nil {
 		k.fail(e, "subarray already open (row %d @%d)", open.addr.Row, open.cycle)
+	}
+	// CROW activate variants carry a copy-row operand that must address one
+	// of the subarray's copy rows. (Geometries without copy rows — e.g. the
+	// idealized mechanisms — are exempt: their kinds are fictional.)
+	if e.cmd != CmdACT && k.Geo.CopyRows > 0 && (e.copyRow < 0 || e.copyRow >= k.Geo.CopyRows) {
+		k.fail(e, "copy-row operand %d out of range [0,%d)", e.copyRow, k.Geo.CopyRows)
 	}
 	var rankACTs []int64
 	for i := len(k.history) - 1; i >= 0; i-- {

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment reports under testdata/golden/")
+
+// TestGoldenReports renders every registered experiment at QuickScale and
+// compares the rendered tables byte-for-byte against the golden files under
+// testdata/golden/. The engine memoizes deterministically, so the output is
+// identical at any worker count; any byte of drift is a behavior change that
+// must be either fixed or consciously accepted by regenerating the goldens
+// with:
+//
+//	go test ./internal/exp -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regression runs the full QuickScale sweep; skipped in -short")
+	}
+	r := NewRunner(QuickScale(), Workers(4))
+	if err := r.Execute(PlanAll(r, Experiments())); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		t.Run(e.Name, func(t *testing.T) {
+			tbl, err := e.Table(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(tbl.String())
+			path := filepath.Join("testdata", "golden", e.Name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for %s (generate with -update): %v", e.Name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s drifted from its golden report.\n--- golden ---\n%s\n--- got ---\n%s",
+					e.Name, want, got)
+			}
+		})
+	}
+}

@@ -100,9 +100,10 @@ func pct2(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 // Runner executes and memoizes simulation runs on a bounded worker pool.
 type Runner struct {
-	Scale Scale
-	pool  *engine.Pool[crow.Report]
-	ctx   context.Context
+	Scale  Scale
+	pool   *engine.Pool[crow.Report]
+	ctx    context.Context
+	verify bool
 }
 
 // RunnerOption configures a Runner.
@@ -113,6 +114,7 @@ type runnerConfig struct {
 	timeout  time.Duration
 	observer engine.Observer
 	ctx      context.Context
+	verify   bool
 }
 
 // Workers sets how many simulations may execute concurrently (the
@@ -132,6 +134,12 @@ func Observe(obs engine.Observer) RunnerOption { return func(c *runnerConfig) { 
 // in-flight simulations and aborts the sweep.
 func WithContext(ctx context.Context) RunnerOption { return func(c *runnerConfig) { c.ctx = ctx } }
 
+// Verify attaches the correctness oracle (crow.Options.Verify) to every
+// simulation the runner executes. A run with violations fails with an error
+// describing them, which surfaces through the engine observer's finished
+// events and aborts the sweep like any other run failure.
+func Verify() RunnerOption { return func(c *runnerConfig) { c.verify = true } }
+
 // NewRunner builds a Runner at the given scale. Without options it behaves
 // like the historical sequential runner: one worker, no timeout.
 func NewRunner(s Scale, opts ...RunnerOption) *Runner {
@@ -147,9 +155,10 @@ func NewRunner(s Scale, opts ...RunnerOption) *Runner {
 		popts = append(popts, engine.WithObserver[crow.Report](cfg.observer))
 	}
 	return &Runner{
-		Scale: s,
-		pool:  engine.New(cfg.workers, popts...),
-		ctx:   cfg.ctx,
+		Scale:  s,
+		pool:   engine.New(cfg.workers, popts...),
+		ctx:    cfg.ctx,
+		verify: cfg.verify,
 	}
 }
 
@@ -165,7 +174,27 @@ func (r *Runner) scaled(o crow.Options) crow.Options {
 	if o.Seed == 0 {
 		o.Seed = r.Scale.Seed
 	}
+	if r.verify {
+		o.Verify = true
+	}
 	return o
+}
+
+// exec wraps one simulation, failing the run if the correctness oracle found
+// violations (only possible when the runner verifies).
+func (r *Runner) exec(o crow.Options) func(context.Context) (crow.Report, error) {
+	return func(ctx context.Context) (crow.Report, error) {
+		rep, err := crow.RunContext(ctx, o)
+		if err == nil && rep.Violations > 0 {
+			sample := ""
+			if len(rep.ViolationSamples) > 0 {
+				sample = "; first: " + rep.ViolationSamples[0]
+			}
+			err = fmt.Errorf("correctness oracle: %d violation(s): %s%s",
+				rep.Violations, metrics.Counters(rep.ViolationCounts).String(), sample)
+		}
+		return rep, err
+	}
 }
 
 // runLabel is the human-readable job description carried by observer
@@ -202,9 +231,7 @@ func runLabel(o crow.Options) string {
 // rather than panicking; the engine propagates it to the CLIs.
 func (r *Runner) Run(o crow.Options) (crow.Report, error) {
 	o = r.scaled(o)
-	return r.pool.Do(r.ctx, o.Key(), runLabel(o), func(ctx context.Context) (crow.Report, error) {
-		return crow.RunContext(ctx, o)
-	})
+	return r.pool.Do(r.ctx, o.Key(), runLabel(o), r.exec(o))
 }
 
 // Execute runs a declared plan: every distinct simulation in opts executes
@@ -215,9 +242,7 @@ func (r *Runner) Execute(opts []crow.Options) error {
 	return engine.All(r.ctx, r.pool, opts,
 		func(o crow.Options) (string, string, func(context.Context) (crow.Report, error)) {
 			o = r.scaled(o)
-			return o.Key(), runLabel(o), func(ctx context.Context) (crow.Report, error) {
-				return crow.RunContext(ctx, o)
-			}
+			return o.Key(), runLabel(o), r.exec(o)
 		})
 }
 

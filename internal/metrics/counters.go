@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a named-counter set with deterministic iteration order, used
+// for violation tallies (internal/oracle) and other keyed counts that must
+// render and compare reproducibly.
+type Counters map[string]int64
+
+// Add increments the named counter by n.
+func (c Counters) Add(name string, n int64) { c[name] += n }
+
+// Total returns the sum over all counters.
+func (c Counters) Total() int64 {
+	var t int64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Names returns the counter names in sorted order.
+func (c Counters) Names() []string {
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge accumulates another counter set into c.
+func (c Counters) Merge(o Counters) {
+	for n, v := range o {
+		c[n] += v
+	}
+}
+
+// String renders the counters as "name=count" pairs in name order.
+func (c Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package oracle
+
+import (
+	"testing"
+
+	"crowdram/internal/dram"
+)
+
+// benchCommandLoop drives a raw channel through the controller's hot path —
+// activate, one column access, fully-restored precharge — with and without
+// the oracle observer attached, so the two benchmarks isolate the per-command
+// verification cost. The loop stays timing-legal by construction (RD/WR at
+// tRCD, PRE at tRASFull, next ACT after tRP), so it measures bookkeeping, not
+// retries.
+func benchCommandLoop(b *testing.B, attach func(g dram.Geometry, tm dram.Timing) dram.CommandObserver) {
+	g := dram.Std(8)
+	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
+	c := dram.NewChannel(g, tm)
+	if attach != nil {
+		c.Obs = attach(g, tm)
+	}
+	base := tm.Base()
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := dram.Addr{
+			Bank: i % g.Banks,
+			Row:  i % 64,
+			Col:  i % g.ColumnsPerRow(),
+		}
+		c.Tick(now)
+		c.ACT(a, now, dram.ActSingle, base, -1)
+		col := now + int64(base.RCD)
+		pre := now + int64(base.RASFull)
+		if i%2 == 0 {
+			c.WR(a, col)
+			if p := col + int64(tm.CWL) + int64(tm.BL) + int64(base.WR); p > pre {
+				pre = p
+			}
+		} else {
+			c.RD(a, col)
+		}
+		c.PRE(a, pre)
+		now = pre + int64(tm.RP) + 1
+	}
+}
+
+func BenchmarkChannelHotPath(b *testing.B) {
+	benchCommandLoop(b, nil)
+}
+
+func BenchmarkChannelHotPathVerified(b *testing.B) {
+	benchCommandLoop(b, func(g dram.Geometry, tm dram.Timing) dram.CommandObserver {
+		o := New(Config{
+			Channels:          1,
+			Geo:               g,
+			T:                 tm,
+			Cap:               16,
+			DataChecks:        true,
+			RefreshMultiplier: 1,
+		})
+		b.Cleanup(func() {
+			if f := o.Findings(); f.Total() != 0 {
+				b.Fatalf("benchmark stream raised oracle violations: %v", f.Counts)
+			}
+		})
+		return o.Observer(0)
+	})
+}

@@ -14,7 +14,9 @@ import (
 	"crowdram/internal/dram"
 	"crowdram/internal/energy"
 	"crowdram/internal/metrics"
+	"crowdram/internal/oracle"
 	"crowdram/internal/prefetch"
+	"crowdram/internal/tldram"
 	"crowdram/internal/trace"
 )
 
@@ -35,6 +37,13 @@ type Config struct {
 	// REFpb, elastic postponement).
 	PerBankRefresh bool
 	MaxPostpone    int
+
+	// Verify attaches the correctness oracle (internal/oracle) to every
+	// channel: a shadow data memory, refresh-deadline monitor, and
+	// scheduler/accounting checks validate the run end to end. Findings
+	// are reported in Result.Verify. Costs roughly 10-20% simulation time
+	// (see BENCH_oracle.json).
+	Verify bool
 
 	// WarmupInsts and MeasureInsts are per-core instruction counts: stats
 	// reset once every core has retired WarmupInsts, and the run ends
@@ -82,6 +91,9 @@ type Result struct {
 	ReadP50Ns   float64
 	ReadP99Ns   float64
 	RefreshMult int
+	// Verify holds the correctness oracle's findings (zero-valued unless
+	// Config.Verify was set).
+	Verify oracle.Findings
 }
 
 // System is one assembled simulation instance.
@@ -93,6 +105,7 @@ type System struct {
 	Ctrls  []*ctrl.Controller
 	Mapper *dram.Mapper
 	Pref   *prefetch.Prefetcher
+	Oracle *oracle.Oracle // nil unless Cfg.Verify
 
 	cpuCycle  int64
 	dramCycle int64
@@ -164,6 +177,21 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 		ccfg.PerBankRefresh = cfg.PerBankRefresh
 		ccfg.MaxPostpone = cfg.MaxPostpone
 		s.Ctrls[ch] = ctrl.New(ccfg, mech)
+	}
+	if cfg.Verify {
+		s.Oracle = oracle.New(oracle.Config{
+			Channels:          cfg.Channels,
+			Geo:               cfg.Geo,
+			T:                 cfg.T,
+			Cap:               cfg.Cap,
+			DataChecks:        shadowDataApplies(mech),
+			RefreshMultiplier: mech.RefreshMultiplier(),
+			PerBankRefresh:    cfg.PerBankRefresh,
+			MaxPostpone:       cfg.MaxPostpone,
+		})
+		for ch := range s.Ctrls {
+			s.Ctrls[ch].Dev.Obs = s.Oracle.Observer(ch)
+		}
 	}
 	s.LLC = cache.New(cfg.LLC, memPort{s}, len(gens))
 	// Start from a steady-state (full, partially dirty) LLC so that
@@ -310,7 +338,28 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if cw, ok := s.Mech.(*core.CROW); ok {
 		res.CROW = diffCROW(cw.Stats, crowSnap)
 	}
+	if s.Oracle != nil {
+		s.Oracle.Finish(s.dramCycle)
+		for ch, c := range s.Ctrls {
+			s.Oracle.CheckStats(ch, c.Dev.Stats)
+		}
+		res.Verify = s.Oracle.Findings()
+	}
 	return res, nil
+}
+
+// shadowDataApplies reports whether the oracle's shadow data memory models
+// the mechanism's data semantics. Two mechanisms fall outside it: the
+// idealized CROW (which issues fictional ACT-t commands to pairs that were
+// never copied, modeling a 100% hit rate) and TL-DRAM (whose near-segment
+// activations reuse the plain ACT command for rows the shadow memory cannot
+// distinguish). The refresh, cap, and accounting checks apply regardless.
+func shadowDataApplies(mech core.Mechanism) bool {
+	switch mech.(type) {
+	case *core.Ideal, *tldram.Mechanism:
+		return false
+	}
+	return true
 }
 
 func diffDram(a, b dram.Stats) dram.Stats {

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the trace-file parser never panics on arbitrary input,
+// and that any input it accepts survives a serialize/re-parse round trip
+// unchanged (Write emits the canonical spelling of what Parse accepted).
+func FuzzParse(f *testing.F) {
+	f.Add("3 0x1a2b\n0 0xff W\n")
+	f.Add("# comment line\n\n1 0x0\n")
+	f.Add("12 dead W\n")
+	f.Add("not a trace")
+	f.Add("1 0x10 W\n2 0x20\n# trailing comment\n")
+	f.Add("0 0xffffffffffffffff\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(recs) == 0 {
+			t.Fatal("Parse returned no records and no error")
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, &Replay{Records: recs}, len(recs)); err != nil {
+			t.Fatalf("Write of parsed records failed: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of serialized trace failed: %v\ntrace:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(recs, again) {
+			t.Fatalf("round trip changed records:\nfirst:  %v\nsecond: %v", recs, again)
+		}
+	})
+}
