@@ -250,6 +250,11 @@ type Report struct {
 	ReadLatencyP50Ns float64
 	ReadLatencyP99Ns float64
 
+	// Truncated reports that the simulation hit its cycle limit before
+	// every core retired the requested instruction count; IPC then covers
+	// only what was actually retired.
+	Truncated bool
+
 	// ChipAreaOverhead is the DRAM die overhead of the configuration.
 	ChipAreaOverhead float64
 	// CapacityOverhead is the DRAM storage the substrate reserves.
@@ -507,6 +512,7 @@ func report(o Options, cfg sim.Config, mech core.Mechanism, res sim.Result) Repo
 		AvgReadLatencyNs: res.AvgReadNs,
 		ReadLatencyP50Ns: res.ReadP50Ns,
 		ReadLatencyP99Ns: res.ReadP99Ns,
+		Truncated:        res.Truncated,
 	}
 	if o.Verify {
 		r.Violations = res.Verify.Total()

@@ -1,0 +1,55 @@
+package cache
+
+import "testing"
+
+// sinkMem accepts everything and remembers the last read so the benchmark
+// can fill it back, mimicking the simulator's memory port at zero cost.
+type sinkMem struct {
+	c     *Cache
+	reads []uint64
+}
+
+func (m *sinkMem) SendRead(lineAddr uint64, pref bool) bool {
+	m.reads = append(m.reads, lineAddr)
+	return true
+}
+
+func (m *sinkMem) SendWrite(lineAddr uint64) bool { return true }
+
+// BenchmarkAccessHit measures the resident-line fast path. Run with
+// -benchmem: hits enqueue one delayed callback but must not otherwise
+// allocate in steady state.
+func BenchmarkAccessHit(b *testing.B) {
+	mem := &sinkMem{}
+	c := New(DefaultConfig(), mem, 1)
+	mem.c = c
+	c.Access(0, 0, 0x1000, false, nil)
+	c.Fill(0, 0x1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i)
+		c.Access(now, 0, 0x1000, false, nil)
+		c.Tick(now + c.Cfg.HitLatency)
+	}
+}
+
+// BenchmarkMissFill measures a full miss round trip: MSHR allocation from
+// the freelist, downstream send, fill, and MSHR release.
+func BenchmarkMissFill(b *testing.B) {
+	mem := &sinkMem{}
+	c := New(DefaultConfig(), mem, 1)
+	mem.c = c
+	done := func(int64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i)
+		addr := uint64(i) << 6 // distinct lines: always a miss
+		if acc, hit := c.Access(now, 0, addr, false, done); !acc || hit {
+			b.Fatal("expected accepted miss")
+		}
+		c.Fill(now, mem.reads[len(mem.reads)-1])
+		mem.reads = mem.reads[:0]
+	}
+}

@@ -3,10 +3,7 @@
 // write-allocate, and MSHR-based miss handling with request merging.
 package cache
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Config parameterizes the LLC.
 type Config struct {
@@ -45,13 +42,17 @@ type mshr struct {
 	sent     bool
 	prefetch bool
 	waiters  []waiter
+	next     *mshr // freelist link
 }
 
 // Memory is the LLC's downstream port (the memory controllers). Send
-// functions return false to reject (queue full); the cache retries.
+// functions return false to reject (queue full); the cache retries. The
+// owner delivers read data by calling Cache.Fill with the line address —
+// there is no per-request callback, so the miss path allocates nothing.
 type Memory interface {
-	// SendRead requests a line fill; done runs when data returns.
-	SendRead(lineAddr uint64, prefetch bool, done func(now int64)) bool
+	// SendRead requests a line fill; the owner calls Fill when the data
+	// returns.
+	SendRead(lineAddr uint64, prefetch bool) bool
 	// SendWrite writes back a dirty line.
 	SendWrite(lineAddr uint64) bool
 }
@@ -75,17 +76,47 @@ type delayed struct {
 	done func(now int64)
 }
 
+// delayQueue is a hand-rolled min-heap on `at`; container/heap would box
+// every pushed entry into an interface, allocating once per LLC hit. The
+// sift directions replicate container/heap's strict-less comparisons, so pop
+// order (ties included) is unchanged.
 type delayQueue []delayed
 
-func (q delayQueue) Len() int           { return len(q) }
-func (q delayQueue) Less(i, j int) bool { return q[i].at < q[j].at }
-func (q delayQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *delayQueue) Push(x any)        { *q = append(*q, x.(delayed)) }
-func (q *delayQueue) Pop() any {
-	old := *q
-	n := len(old)
-	d := old[n-1]
-	*q = old[:n-1]
+func (q *delayQueue) push(d delayed) {
+	h := append(*q, d)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
+
+func (q *delayQueue) pop() delayed {
+	h := *q
+	d := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = delayed{}
+	h = h[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h[r].at < h[j].at {
+			j = r
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	*q = h
 	return d
 }
 
@@ -98,10 +129,11 @@ type Cache struct {
 	// not yet touched by demand.
 	prefetched map[uint64]bool
 
-	mshrs   map[uint64]*mshr
-	fillQ   []uint64 // line fills awaiting install (processed on Tick)
-	wbQ     []uint64 // writebacks the memory rejected, to retry
-	delayed delayQueue
+	mshrs    map[uint64]*mshr
+	mshrFree *mshr    // recycled mshr structs (waiter slices retained)
+	unsent   int      // mshrs whose downstream read was rejected, to retry
+	wbQ      []uint64 // writebacks the memory rejected, to retry
+	delayed  delayQueue
 
 	setMask  uint64
 	lineBits uint
@@ -145,6 +177,35 @@ func (c *Cache) find(lineAddr uint64) *line {
 	return nil
 }
 
+// newMSHR takes a recycled mshr from the freelist (or allocates one) and
+// registers it for lineAddr.
+func (c *Cache) newMSHR(lineAddr uint64) *mshr {
+	m := c.mshrFree
+	if m != nil {
+		c.mshrFree = m.next
+		m.next = nil
+	} else {
+		m = &mshr{}
+	}
+	m.lineAddr = lineAddr
+	c.mshrs[lineAddr] = m
+	c.unsent++ // until trySend succeeds
+	return m
+}
+
+// releaseMSHR returns a completed mshr to the freelist, keeping its waiter
+// slice's capacity.
+func (c *Cache) releaseMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = waiter{}
+	}
+	m.waiters = m.waiters[:0]
+	m.sent = false
+	m.prefetch = false
+	m.next = c.mshrFree
+	c.mshrFree = m
+}
+
 // Access performs a demand access. It returns accepted=false when the miss
 // cannot be tracked (MSHRs full) — the core must retry. On acceptance, hit
 // reports whether the line was resident or had to be fetched; done runs when
@@ -164,7 +225,7 @@ func (c *Cache) Access(now int64, core int, addr uint64, write bool, done func(n
 			c.Stats.PrefUseful++
 		}
 		if done != nil {
-			heap.Push(&c.delayed, delayed{at: now + c.Cfg.HitLatency, done: done})
+			c.delayed.push(delayed{at: now + c.Cfg.HitLatency, done: done})
 		}
 		return true, true
 	}
@@ -188,8 +249,8 @@ func (c *Cache) Access(now int64, core int, addr uint64, write bool, done func(n
 	c.Stats.Misses++
 	c.Stats.CoreAccesses[core]++
 	c.Stats.CoreMisses[core]++
-	m := &mshr{lineAddr: la, waiters: []waiter{{write: write, done: done}}}
-	c.mshrs[la] = m
+	m := c.newMSHR(la)
+	m.waiters = append(m.waiters, waiter{write: write, done: done})
 	c.trySend(m)
 	return true, false
 }
@@ -207,8 +268,8 @@ func (c *Cache) Prefetch(now int64, addr uint64) bool {
 	if len(c.mshrs) >= c.Cfg.MSHRs {
 		return false
 	}
-	m := &mshr{lineAddr: la, prefetch: true}
-	c.mshrs[la] = m
+	m := c.newMSHR(la)
+	m.prefetch = true
 	c.trySend(m)
 	c.Stats.PrefIssued++
 	return true
@@ -218,14 +279,16 @@ func (c *Cache) trySend(m *mshr) {
 	if m.sent {
 		return
 	}
-	la := m.lineAddr
-	if c.Mem.SendRead(la<<c.lineBits, m.prefetch, func(now int64) { c.fill(now, la) }) {
+	if c.Mem.SendRead(m.lineAddr<<c.lineBits, m.prefetch) {
 		m.sent = true
+		c.unsent--
 	}
 }
 
-// fill installs a returned line and wakes its waiters.
-func (c *Cache) fill(now int64, la uint64) {
+// Fill installs a returned line and wakes its waiters. The cache's owner
+// calls it when the read it accepted via Memory.SendRead completes.
+func (c *Cache) Fill(now int64, addr uint64) {
+	la := c.lineAddr(addr)
 	m := c.mshrs[la]
 	delete(c.mshrs, la)
 	set := c.set(la)
@@ -262,6 +325,7 @@ func (c *Cache) fill(now int64, la uint64) {
 		if m.prefetch {
 			c.prefetched[la] = true
 		}
+		c.releaseMSHR(m)
 	}
 	set[victim] = line{tag: la, valid: true, dirty: dirty, lastUse: now}
 }
@@ -293,7 +357,7 @@ func (c *Cache) Prefill(lineAddrBits uint, dirtyFrac float64, seed int64) {
 // Tick fires due hit callbacks and retries rejected downstream sends.
 func (c *Cache) Tick(now int64) {
 	for len(c.delayed) > 0 && c.delayed[0].at <= now {
-		d := heap.Pop(&c.delayed).(delayed)
+		d := c.delayed.pop()
 		d.done(now)
 	}
 	for len(c.wbQ) > 0 {
@@ -302,12 +366,34 @@ func (c *Cache) Tick(now int64) {
 		}
 		c.wbQ = c.wbQ[1:]
 	}
-	for _, m := range c.mshrs {
-		if !m.sent {
-			c.trySend(m)
+	if c.unsent > 0 {
+		for _, m := range c.mshrs {
+			if !m.sent {
+				c.trySend(m)
+			}
 		}
 	}
 }
+
+// NextEvent returns the earliest CPU cycle after `now` at which Tick could
+// do any work: the next due hit callback, or now+1 while downstream retries
+// (rejected reads or writebacks) are pending. With nothing in flight it
+// returns Horizon; the run loop uses this to skip the cache's idle cycles.
+func (c *Cache) NextEvent(now int64) int64 {
+	if c.unsent > 0 || len(c.wbQ) > 0 {
+		return now + 1
+	}
+	if len(c.delayed) > 0 {
+		if at := c.delayed[0].at; at > now {
+			return at
+		}
+		return now + 1
+	}
+	return Horizon
+}
+
+// Horizon mirrors dram.Horizon: a sentinel "no event scheduled" cycle.
+const Horizon = int64(1) << 60
 
 // Pending reports outstanding misses plus undelivered hit callbacks (used to
 // drain simulations).

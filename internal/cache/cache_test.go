@@ -5,20 +5,23 @@ import (
 	"testing/quick"
 )
 
-// fakeMem is a scriptable memory backend.
+// fakeMem is a scriptable memory backend. It records accepted reads and
+// delivers them back through Cache.Fill when fillAll runs, the way the
+// simulator's memory port does.
 type fakeMem struct {
+	c       *Cache
 	reads   []uint64
 	writes  []uint64
-	pending []func(now int64)
+	pending []uint64
 	reject  bool
 }
 
-func (m *fakeMem) SendRead(lineAddr uint64, pref bool, done func(now int64)) bool {
+func (m *fakeMem) SendRead(lineAddr uint64, pref bool) bool {
 	if m.reject {
 		return false
 	}
 	m.reads = append(m.reads, lineAddr)
-	m.pending = append(m.pending, done)
+	m.pending = append(m.pending, lineAddr)
 	return true
 }
 
@@ -33,8 +36,8 @@ func (m *fakeMem) SendWrite(lineAddr uint64) bool {
 func (m *fakeMem) fillAll(now int64) {
 	p := m.pending
 	m.pending = nil
-	for _, done := range p {
-		done(now)
+	for _, la := range p {
+		m.c.Fill(now, la)
 	}
 }
 
@@ -42,9 +45,16 @@ func small() Config {
 	return Config{SizeBytes: 8 * 1024, Assoc: 2, LineBytes: 64, HitLatency: 10, MSHRs: 4}
 }
 
+// newTestCache wires the cache and fakeMem together (Fill needs the cache).
+func newTestCache(cfg Config, mem *fakeMem, cores int) *Cache {
+	c := New(cfg, mem, cores)
+	mem.c = c
+	return c
+}
+
 func TestMissThenHit(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	var missDone, hitDone int64 = -1, -1
 	acc, hit := c.Access(0, 0, 0x1000, false, func(now int64) { missDone = now })
 	if !acc || hit {
@@ -72,7 +82,7 @@ func TestMissThenHit(t *testing.T) {
 
 func TestMSHRMergeAndLimit(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 2)
+	c := newTestCache(small(), mem, 2)
 	done := 0
 	cb := func(int64) { done++ }
 	c.Access(0, 0, 0x1000, false, cb)
@@ -98,7 +108,7 @@ func TestMSHRMergeAndLimit(t *testing.T) {
 
 func TestWritebackOnDirtyEviction(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	// Two lines mapping to the same set (assoc 2): setMask = 8KiB/64/2-1 = 63.
 	base := uint64(0x0)
 	s1 := base + 64*64*2 // same set, different tag
@@ -119,7 +129,7 @@ func TestWritebackOnDirtyEviction(t *testing.T) {
 
 func TestWritebackRetryWhenRejected(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	c.Access(0, 0, 0, true, nil) // dirty line
 	mem.fillAll(1)
 	c.Access(2, 0, 64*64*2, false, nil)
@@ -140,7 +150,7 @@ func TestWritebackRetryWhenRejected(t *testing.T) {
 
 func TestPrefetchFillAndPromotion(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	if !c.Prefetch(0, 0x1000) {
 		t.Fatal("prefetch of absent line must issue")
 	}
@@ -164,7 +174,7 @@ func TestPrefetchFillAndPromotion(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	a, b, d := uint64(0), uint64(64*64*2), uint64(64*64*4) // same set
 	c.Access(0, 0, a, false, nil)
 	mem.fillAll(1)
@@ -183,7 +193,7 @@ func TestLRUReplacement(t *testing.T) {
 
 func TestResetStatsPreservesSlots(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 3)
+	c := newTestCache(small(), mem, 3)
 	c.Access(0, 2, 0x1000, false, nil)
 	c.ResetStats()
 	if len(c.Stats.CoreMisses) != 3 || c.Stats.Misses != 0 {
@@ -193,7 +203,7 @@ func TestResetStatsPreservesSlots(t *testing.T) {
 
 func TestMPKI(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 2)
+	c := newTestCache(small(), mem, 2)
 	c.Access(0, 0, 0x1000, false, nil)
 	c.Access(0, 0, 0x2000, false, nil)
 	got := c.MPKI([]int64{1000, 1000})
@@ -206,7 +216,7 @@ func TestMPKI(t *testing.T) {
 // regardless of MSHR pressure — property test.
 func TestAccessAlwaysAcceptedWhenResident(t *testing.T) {
 	mem := &fakeMem{}
-	c := New(small(), mem, 1)
+	c := newTestCache(small(), mem, 1)
 	c.Access(0, 0, 0x8000, false, nil)
 	mem.fillAll(1)
 	// Exhaust MSHRs.

@@ -426,6 +426,14 @@ func (c *CROW) RequeueScrub(channel int, a dram.Addr) {
 	c.partials[channel] = append(c.partials[channel], a)
 }
 
+// HasPendingOps reports, without mutating any queue, whether the channel may
+// have copy or scrub work pending. It may overestimate (stale candidates are
+// only filtered on pop); it never misses live work, which is what the
+// controller's idle-skip logic requires.
+func (c *CROW) HasPendingOps(channel int) bool {
+	return len(c.pendingCopies[channel]) > 0 || len(c.partials[channel]) > 0
+}
+
 // countHammer tracks per-row activation counts within a refresh window and
 // remaps the neighbours of a hammered row once it crosses the threshold.
 func (c *CROW) countHammer(a dram.Addr) {

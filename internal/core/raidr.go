@@ -104,6 +104,13 @@ func (r *RAIDR) NextCopy(channel int) (CopyOp, bool) {
 	return op, true
 }
 
+// HasPendingOps reports whether the channel has weak-row refreshes queued,
+// without popping any; the controller's idle-skip logic uses it to decide
+// whether NextCopy could produce work.
+func (r *RAIDR) HasPendingOps(channel int) bool {
+	return len(r.pending[channel]) > 0
+}
+
 // RAIDRStorageKB estimates RAIDR's controller storage: Bloom filters
 // identifying the weak rows (~10 bits per weak row at a 1 % false-positive
 // rate; RAIDR reports 1.25 KB for a 32 GiB system).

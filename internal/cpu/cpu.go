@@ -48,6 +48,23 @@ type Core struct {
 
 	outstanding int // LLC misses in flight
 
+	// loadDone holds one completion callback per window slot, built once
+	// at construction so load accesses allocate nothing. A load's slot
+	// cannot be recycled before its callback fires (retirement waits for
+	// the data), so binding the callback to the slot is safe.
+	loadDone []func(now int64)
+	// loadMiss marks slots whose in-flight load occupies an MSHR.
+	loadMiss []bool
+
+	// Store completions outlive their window slot (stores retire
+	// immediately), so they use a token pool instead: storeDone[t] is a
+	// prebuilt callback releasing token t, storeMiss[t] records whether
+	// that store occupies an MSHR. The pool grows on demand and each
+	// token's closure is built once, so steady state allocates nothing.
+	storeDone []func(now int64)
+	storeMiss []bool
+	storeFree []int
+
 	// Retired counts completed instructions; Cycles counts elapsed core
 	// cycles (both reset at the end of warmup).
 	Retired int64
@@ -60,7 +77,23 @@ type Core struct {
 
 // New builds a core reading from gen.
 func New(id int, cfg Config, gen trace.Generator, mem Memory, xlat Translator) *Core {
-	return &Core{ID: id, Cfg: cfg, Gen: gen, Mem: mem, Xlat: xlat, ready: make([]bool, cfg.Window)}
+	c := &Core{
+		ID: id, Cfg: cfg, Gen: gen, Mem: mem, Xlat: xlat,
+		ready:    make([]bool, cfg.Window),
+		loadDone: make([]func(now int64), cfg.Window),
+		loadMiss: make([]bool, cfg.Window),
+	}
+	for i := range c.loadDone {
+		idx := i
+		c.loadDone[idx] = func(int64) {
+			if c.loadMiss[idx] {
+				c.loadMiss[idx] = false
+				c.outstanding--
+			}
+			c.ready[idx] = true
+		}
+	}
+	return c
 }
 
 // ResetStats zeroes the measurement counters (end of warmup).
@@ -77,11 +110,61 @@ func (c *Core) IPC() float64 {
 	return float64(c.Retired) / float64(c.Cycles)
 }
 
+// storeToken reserves a completion token for a store access, growing the
+// pool (and building the token's callback, once) if none is free.
+func (c *Core) storeToken() int {
+	if n := len(c.storeFree); n > 0 {
+		t := c.storeFree[n-1]
+		c.storeFree = c.storeFree[:n-1]
+		return t
+	}
+	t := len(c.storeDone)
+	c.storeMiss = append(c.storeMiss, false)
+	c.storeDone = append(c.storeDone, func(int64) {
+		if c.storeMiss[t] {
+			c.storeMiss[t] = false
+			c.outstanding--
+		}
+		c.storeFree = append(c.storeFree, t)
+	})
+	return t
+}
+
 func (c *Core) push(ready bool) int {
 	idx := (c.head + c.count) % c.Cfg.Window
 	c.ready[idx] = ready
 	c.count++
 	return idx
+}
+
+// Stalled reports whether the core can make no progress on its own: nothing
+// is ready to retire and the next issue slot is blocked on the window or the
+// MSHRs. A stalled core stays stalled until an outstanding memory completion
+// callback fires, so the run loop may skip its ticks (accounting them via
+// AdvanceIdle) without changing any observable behavior.
+func (c *Core) Stalled() bool {
+	if c.count > 0 && c.ready[c.head] {
+		return false // can retire
+	}
+	if c.count >= c.Cfg.Window {
+		return true // window full
+	}
+	// Issue slot available: only an MSHR-full memory instruction blocks it
+	// (bubbles always issue, and a missing record means Tick would fetch
+	// one — a side effect, hence progress).
+	return c.bubblesLeft == 0 && c.haveRec && c.outstanding >= c.Cfg.MSHRs
+}
+
+// AdvanceIdle accounts n skipped cycles of a stalled core, replicating
+// exactly what n no-progress Ticks would have recorded. It must only be
+// called while Stalled() holds.
+func (c *Core) AdvanceIdle(n int64) {
+	c.Cycles += n
+	if c.count >= c.Cfg.Window {
+		c.StallWindow += n
+	} else {
+		c.StallMSHR += n
+	}
 }
 
 // Tick advances the core by one CPU cycle.
@@ -118,33 +201,23 @@ func (c *Core) Tick(now int64) {
 			return
 		}
 		addr := c.Xlat.Translate(c.ID, c.rec.Addr)
-		// counted records whether this access occupies an MSHR; it is
-		// decided after Access reports hit/miss, and the completion
-		// callback (which can only fire on a later cycle) releases it.
-		counted := false
-		release := func(int64) {
-			if counted {
-				c.outstanding--
-			}
-		}
 		if c.rec.Write {
 			c.push(true) // stores retire via the store buffer
-			accepted, hit := c.Mem.Access(now, c.ID, addr, true, release)
+			tok := c.storeToken()
+			accepted, hit := c.Mem.Access(now, c.ID, addr, true, c.storeDone[tok])
 			if !accepted {
 				c.count-- // roll back the push
+				c.storeFree = append(c.storeFree, tok)
 				c.StallMSHR++
 				return
 			}
 			if !hit {
 				c.outstanding++
-				counted = true
+				c.storeMiss[tok] = true
 			}
 		} else {
 			idx := c.push(false)
-			accepted, hit := c.Mem.Access(now, c.ID, addr, false, func(at int64) {
-				c.ready[idx] = true
-				release(at)
-			})
+			accepted, hit := c.Mem.Access(now, c.ID, addr, false, c.loadDone[idx])
 			if !accepted {
 				c.count--
 				c.StallMSHR++
@@ -152,7 +225,7 @@ func (c *Core) Tick(now int64) {
 			}
 			if !hit {
 				c.outstanding++
-				counted = true
+				c.loadMiss[idx] = true
 			}
 		}
 		c.haveRec = false

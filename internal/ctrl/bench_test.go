@@ -1,0 +1,83 @@
+package ctrl
+
+import (
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+)
+
+// BenchmarkReadStream measures the controller's full per-read cost — pooled
+// request, enqueue, FR-FCFS scheduling, completion event — on a row-hit
+// heavy stream. Run with -benchmem: the steady state must not allocate.
+func BenchmarkReadStream(b *testing.B) {
+	c, _ := newBenchBaseline()
+	now := int64(0)
+	done := 0
+	cb := func(int64, uint64) { done++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.GetRequest()
+		r.Type = Read
+		r.Addr = dram.Addr{Row: 5, Col: i % 128}
+		r.Done = cb
+		for !c.EnqueueRead(r, now) {
+			now++
+			c.Tick(now)
+		}
+		now++
+		c.Tick(now)
+	}
+	b.StopTimer()
+	for target := b.N; done < target && now < int64(1<<40); {
+		now++
+		c.Tick(now)
+	}
+	if done < b.N {
+		b.Fatalf("only %d/%d reads completed", done, b.N)
+	}
+}
+
+// BenchmarkIdleTick measures a tick with empty queues and an open row: the
+// refresh bookkeeping plus the timeout-policy check that the cached
+// EarliestTimeoutPRE query keeps off the subarray-scan path.
+func BenchmarkIdleTick(b *testing.B) {
+	c, _ := newBenchBaseline()
+	done := false
+	r := c.GetRequest()
+	r.Type = Read
+	r.Addr = dram.Addr{Row: 5}
+	r.Done = func(int64, uint64) { done = true }
+	c.EnqueueRead(r, 0)
+	now := int64(0)
+	for !done {
+		now++
+		c.Tick(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		c.Tick(now)
+	}
+}
+
+// BenchmarkNextEvent measures the idle-skip query the run loop issues
+// whenever every core stalls.
+func BenchmarkNextEvent(b *testing.B) {
+	c, _ := newBenchBaseline()
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.NextEvent(int64(i))
+	}
+	_ = sink
+}
+
+func newBenchBaseline() (*Controller, dram.Timing) {
+	g := dram.Std(0)
+	t := dram.LPDDR4(dram.Density8Gb, 64, g)
+	return New(DefaultConfig(0, g, t), &core.Baseline{T: t}), t
+}

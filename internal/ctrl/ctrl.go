@@ -6,8 +6,6 @@
 package ctrl
 
 import (
-	"container/heap"
-
 	"crowdram/internal/core"
 	"crowdram/internal/dram"
 	"crowdram/internal/metrics"
@@ -23,13 +21,20 @@ const (
 )
 
 // Request is one cache-line-sized memory request.
+//
+// Requests obtained from Controller.GetRequest are recycled internally once
+// complete (after Done fires for reads, after the WR issues for writes), so
+// the steady-state read path allocates nothing. Callers must not retain a
+// pooled request past its completion.
 type Request struct {
 	Type   ReqType
 	Addr   dram.Addr
 	Core   int
-	Arrive int64 // DRAM cycle the request entered the controller
-	Done   func(now int64)
-	IsPref bool // prefetch: scheduled behind demand requests
+	Line   uint64 // upstream line address, carried through to Done
+	Arrive int64  // DRAM cycle the request entered the controller
+	Done   func(now int64, line uint64)
+	IsPref bool     // prefetch: scheduled behind demand requests
+	next   *Request // freelist link
 }
 
 // Config parameterizes one controller instance.
@@ -96,15 +101,70 @@ type event struct {
 	req *Request
 }
 
+// eventQueue is a hand-rolled min-heap on `at`. container/heap would box
+// every pushed event into an interface — one allocation per read completion
+// on the hot path. The sift directions replicate container/heap's strict-less
+// comparisons exactly, so pop order (ties included) is unchanged.
 type eventQueue []event
 
-func (q eventQueue) Len() int           { return len(q) }
-func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h[r].at < h[j].at {
+			j = r
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	*q = h
+	return e
+}
 
 type subKey struct{ rank, bank, sub int }
+
+// copySource is implemented by mechanisms that enqueue ACT-c copy work
+// (RowHammer victim duplication, dynamic CROW-ref remaps).
+type copySource interface {
+	NextCopy(int) (core.CopyOp, bool)
+}
+
+// scrubSource is implemented by mechanisms with idle-cycle restore work.
+type scrubSource interface {
+	NextScrub(int) (core.CopyOp, bool)
+	RequeueScrub(int, dram.Addr)
+}
+
+// opPeeker lets NextEvent ask, without mutating mechanism state, whether a
+// channel has copy or scrub work pending. Mechanisms implementing copySource
+// or scrubSource without opPeeker are never idle-skipped (conservative).
+type opPeeker interface {
+	HasPendingOps(int) bool
+}
 
 // copyState tracks a mechanism-initiated ACT-c in flight.
 type copyState struct {
@@ -130,6 +190,15 @@ type Controller struct {
 	refBank []int   // next bank to refresh per rank (per-bank mode)
 
 	pendingCopy *copyState
+
+	// Cached capability assertions on Mech, resolved once at construction
+	// so the per-cycle path performs no dynamic interface checks.
+	copySrc  copySource
+	scrubSrc scrubSource
+	opPeek   opPeeker
+
+	free  *Request       // request freelist (see GetRequest)
+	osBuf []dram.OpenSub // reusable open-subarray scan buffer
 
 	events      eventQueue
 	timeout     int64
@@ -164,7 +233,29 @@ func New(cfg Config, mech core.Mechanism) *Controller {
 	for r := range c.refDue {
 		c.refDue[r] = c.refInterval()
 	}
+	c.copySrc, _ = mech.(copySource)
+	c.scrubSrc, _ = mech.(scrubSource)
+	c.opPeek, _ = mech.(opPeeker)
 	return c
+}
+
+// GetRequest returns a zeroed request from the controller's freelist (or a
+// fresh one). Requests complete back into the pool automatically; a caller
+// whose enqueue was rejected returns the request with PutRequest.
+func (c *Controller) GetRequest() *Request {
+	r := c.free
+	if r == nil {
+		return &Request{}
+	}
+	c.free = r.next
+	r.next = nil
+	return r
+}
+
+// PutRequest recycles a request that will not be enqueued after all.
+func (c *Controller) PutRequest(r *Request) {
+	*r = Request{next: c.free}
+	c.free = r
 }
 
 func (c *Controller) refInterval() int64 {
@@ -195,7 +286,7 @@ func (c *Controller) EnqueueRead(r *Request, now int64) bool {
 		if w.Addr == r.Addr {
 			c.Stats.Forwarded++
 			c.Stats.ReadsServed++
-			heap.Push(&c.events, event{at: now + 1, req: r})
+			c.events.push(event{at: now + 1, req: r})
 			return true
 		}
 	}
@@ -218,9 +309,49 @@ func (c *Controller) EnqueueWrite(r *Request, now int64) bool {
 	c.lastEnqueue = now
 	c.writeQ = append(c.writeQ, r)
 	if r.Done != nil {
-		r.Done(now)
+		r.Done(now, r.Line)
 	}
 	return true
+}
+
+// NextEvent returns the earliest DRAM cycle after `now` at which Tick could
+// issue a command or fire a completion. While any queue, copy, scrub, or owed
+// refresh is live it conservatively returns now+1 (those paths re-evaluate
+// every cycle); otherwise it is the min of the next read completion, the next
+// refresh deadline, and the earliest timeout-policy precharge. With nothing
+// in flight it returns dram.Horizon; the run loop skips the gap.
+func (c *Controller) NextEvent(now int64) int64 {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || c.pendingCopy != nil {
+		return now + 1
+	}
+	for r := range c.refOwed {
+		if c.refOwed[r] > 0 {
+			return now + 1
+		}
+	}
+	if c.copySrc != nil || c.scrubSrc != nil {
+		if c.opPeek == nil || c.opPeek.HasPendingOps(c.Cfg.ChannelID) {
+			return now + 1
+		}
+	}
+	next := dram.Horizon
+	if len(c.events) > 0 && c.events[0].at < next {
+		next = c.events[0].at
+	}
+	for r := range c.refDue {
+		if c.refDue[r] < next {
+			next = c.refDue[r]
+		}
+	}
+	if !c.Cfg.OpenPage {
+		if t := c.Dev.EarliestTimeoutPRE(c.timeout); t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // Tick advances the controller by one DRAM cycle, issuing at most one
@@ -228,10 +359,11 @@ func (c *Controller) EnqueueWrite(r *Request, now int64) bool {
 func (c *Controller) Tick(now int64) {
 	c.Dev.Tick(now)
 	for len(c.events) > 0 && c.events[0].at <= now {
-		e := heap.Pop(&c.events).(event)
+		e := c.events.pop()
 		if e.req.Done != nil {
-			e.req.Done(now)
+			e.req.Done(now, e.req.Line)
 		}
+		c.PutRequest(e.req)
 	}
 
 	if c.serviceRefresh(now) {
@@ -321,7 +453,8 @@ func (c *Controller) serviceRefresh(now int64) bool {
 			return true
 		}
 		// Close open rows so REF can issue.
-		for _, os := range c.Dev.OpenSubarrays() {
+		c.osBuf = c.Dev.OpenSubarraysAppend(c.osBuf[:0])
+		for _, os := range c.osBuf {
 			if os.Rank != r {
 				continue
 			}
@@ -354,7 +487,8 @@ func (c *Controller) refreshBank(r int, now int64) bool {
 		return true
 	}
 	// Close open rows of this bank only; the rest keep serving.
-	for _, os := range c.Dev.OpenSubarrays() {
+	c.osBuf = c.Dev.OpenSubarraysAppend(c.osBuf[:0])
+	for _, os := range c.osBuf {
 		if os.Rank != r || os.Bank != bank {
 			continue
 		}
@@ -394,13 +528,9 @@ func (c *Controller) hasBankDemand(r, bank int) bool {
 // serviceMechCopy executes mechanism-initiated ACT-c operations (RowHammer
 // victim duplication, dynamic CROW-ref remaps).
 func (c *Controller) serviceMechCopy(now int64) bool {
-	if c.pendingCopy == nil {
-		if cs, ok := c.Mech.(interface {
-			NextCopy(int) (core.CopyOp, bool)
-		}); ok {
-			if op, found := cs.NextCopy(c.Cfg.ChannelID); found {
-				c.pendingCopy = &copyState{op: op}
-			}
+	if c.pendingCopy == nil && c.copySrc != nil {
+		if op, found := c.copySrc.NextCopy(c.Cfg.ChannelID); found {
+			c.pendingCopy = &copyState{op: op}
 		}
 	}
 	pc := c.pendingCopy
@@ -479,6 +609,9 @@ func (c *Controller) scheduleHits(q *[]*Request, now int64) bool {
 				c.hitsServed[k]++
 				c.Stats.RowHits++
 				*q = append((*q)[:i], (*q)[i+1:]...)
+				if r.Type == Write {
+					c.PutRequest(r) // reads recycle at completion-event pop
+				}
 				return true
 			}
 		}
@@ -529,11 +662,8 @@ func (c *Controller) progress(r *Request, now int64) bool {
 	}
 	if !c.Cfg.MASA {
 		// Another subarray of the bank may hold the bank's one open row.
-		for _, os := range c.Dev.OpenSubarrays() {
-			if os.Rank != a.Rank || os.Bank != a.Bank {
-				continue
-			}
-			victim := dram.Addr{Channel: a.Channel, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
+		if row := c.Dev.OpenRowInBank(a.Rank, a.Bank); row >= 0 {
+			victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: row}
 			if c.Dev.CanPRE(victim, now) {
 				c.Stats.RowConflicts++
 				c.preAndNotify(victim, now)
@@ -589,7 +719,7 @@ func (c *Controller) issueColumn(r *Request, now int64) bool {
 		if !r.IsPref {
 			c.ReadLatency.Add(float64(done - r.Arrive))
 		}
-		heap.Push(&c.events, event{at: done, req: r})
+		c.events.push(event{at: done, req: r})
 		return true
 	}
 	if !c.Dev.CanWR(r.Addr, now) {
@@ -608,7 +738,12 @@ func (c *Controller) serviceTimeout(now int64) bool {
 	if c.Cfg.OpenPage {
 		return false
 	}
-	for _, os := range c.Dev.OpenSubarrays() {
+	// Cheap reject: no open subarray can have timed out yet.
+	if c.Dev.EarliestTimeoutPRE(c.timeout) > now {
+		return false
+	}
+	c.osBuf = c.Dev.OpenSubarraysAppend(c.osBuf[:0])
+	for _, os := range c.osBuf {
 		if now-os.LastUse < c.timeout {
 			continue
 		}
@@ -647,20 +782,16 @@ func (c *Controller) serviceScrub(now int64) {
 			return
 		}
 	}
-	sc, ok := c.Mech.(interface {
-		NextScrub(int) (core.CopyOp, bool)
-		RequeueScrub(int, dram.Addr)
-	})
-	if !ok {
+	if c.scrubSrc == nil {
 		return
 	}
-	op, found := sc.NextScrub(c.Cfg.ChannelID)
+	op, found := c.scrubSrc.NextScrub(c.Cfg.ChannelID)
 	if !found {
 		return
 	}
 	const bankCold = 250
 	if now-c.bankLast[c.bankKey(op.Addr)] < bankCold || !c.Dev.CanACT(op.Addr, now, op.Kind) {
-		sc.RequeueScrub(c.Cfg.ChannelID, op.Addr)
+		c.scrubSrc.RequeueScrub(c.Cfg.ChannelID, op.Addr)
 		return
 	}
 	c.Dev.ACT(op.Addr, now, op.Kind, op.Timing, op.CopyRow)

@@ -34,7 +34,7 @@ func run(t *testing.T, c *Controller, deadline int64, pred func() bool) int64 {
 func TestSingleReadLatency(t *testing.T) {
 	c, tm := newBaseline(0)
 	var doneAt int64 = -1
-	req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: 3}, Done: func(now int64) { doneAt = now }}
+	req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: 3}, Done: func(now int64, _ uint64) { doneAt = now }}
 	if !c.EnqueueRead(req, 0) {
 		t.Fatal("enqueue failed")
 	}
@@ -53,7 +53,7 @@ func TestRowHitsAvoidReactivation(t *testing.T) {
 	c, _ := newBaseline(0)
 	done := 0
 	for i := 0; i < 4; i++ {
-		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64) { done++ }}
+		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64, uint64) { done++ }}
 		if !c.EnqueueRead(req, 0) {
 			t.Fatal("enqueue failed")
 		}
@@ -75,7 +75,7 @@ func TestFRFCFSCapRecyclesRow(t *testing.T) {
 	c := New(cfg, &core.Baseline{T: tm})
 	done := 0
 	for i := 0; i < 6; i++ {
-		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64) { done++ }}
+		req := &Request{Type: Read, Addr: dram.Addr{Row: 5, Col: i}, Done: func(int64, uint64) { done++ }}
 		c.EnqueueRead(req, 0)
 	}
 	run(t, c, 5000, func() bool { return done == 6 })
@@ -88,7 +88,7 @@ func TestFRFCFSCapRecyclesRow(t *testing.T) {
 func TestRowConflictPrecharges(t *testing.T) {
 	c, _ := newBaseline(0)
 	done := 0
-	cb := func(int64) { done++ }
+	cb := func(int64, uint64) { done++ }
 	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: cb}, 0)
 	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 2}, Done: cb}, 0)
 	run(t, c, 3000, func() bool { return done == 2 })
@@ -103,7 +103,7 @@ func TestRowConflictPrecharges(t *testing.T) {
 func TestTimeoutClosesIdleRow(t *testing.T) {
 	c, _ := newBaseline(0)
 	done := false
-	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done = true }}, 0)
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64, uint64) { done = true }}, 0)
 	run(t, c, 1000, func() bool { return done })
 	// 75 ns = 120 cycles after last use, the row must close.
 	run(t, c, 2000, func() bool { return c.Stats.TimeoutCloses == 1 })
@@ -119,7 +119,7 @@ func TestOpenPagePolicyKeepsRowOpen(t *testing.T) {
 	cfg.OpenPage = true
 	c := New(cfg, &core.Baseline{T: tm})
 	done := false
-	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done = true }}, 0)
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64, uint64) { done = true }}, 0)
 	run(t, c, 1000, func() bool { return done })
 	run(t, c, 3000, nil)
 	if c.Dev.OpenRow(dram.Addr{Row: 1}) != 1 {
@@ -150,7 +150,7 @@ func TestRefreshClosesOpenRows(t *testing.T) {
 		if at > int64(tm.REFI) {
 			break
 		}
-		c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1, Col: i % 128}, Done: func(int64) { done++ }}, 0)
+		c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1, Col: i % 128}, Done: func(int64, uint64) { done++ }}, 0)
 	}
 	run(t, c, int64(tm.REFI)+int64(tm.RFC)+2000, func() bool { return c.Stats.Refreshes == 1 })
 }
@@ -191,7 +191,7 @@ func TestWriteDrainAndForwarding(t *testing.T) {
 	}
 	// A read to a queued write's address forwards immediately.
 	fwd := false
-	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 0, Col: 0}, Done: func(int64) { fwd = true }}, 0)
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 0, Col: 0}, Done: func(int64, uint64) { fwd = true }}, 0)
 	run(t, c, 10, func() bool { return fwd })
 	if c.Stats.Forwarded != 1 {
 		t.Errorf("Forwarded = %d, want 1", c.Stats.Forwarded)
@@ -226,7 +226,7 @@ func TestCROWCacheEndToEnd(t *testing.T) {
 	k := dram.NewChecker(c.Dev)
 
 	done := 0
-	cb := func(int64) { done++ }
+	cb := func(int64, uint64) { done++ }
 	// First activation of row 1: ACT-c. Conflict with row 2, then
 	// reactivate row 1: ACT-t.
 	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: cb}, 0)
@@ -325,7 +325,7 @@ func TestRandomTrafficObeysProtocol(t *testing.T) {
 							done++ // writes complete at accept
 						}
 					} else {
-						if c.EnqueueRead(&Request{Type: Read, Addr: a, Done: func(int64) { done++ }}, now) {
+						if c.EnqueueRead(&Request{Type: Read, Addr: a, Done: func(int64, uint64) { done++ }}, now) {
 							issued++
 						}
 					}

@@ -59,7 +59,7 @@ func TestRefreshPostponement(t *testing.T) {
 	done := 0
 	refill := func(now int64) {
 		for i := 0; i < 8; i++ {
-			c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 5, Col: (done + i) % 128}, Done: func(int64) { done++ }}, now)
+			c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 5, Col: (done + i) % 128}, Done: func(int64, uint64) { done++ }}, now)
 		}
 	}
 	refill(0)
@@ -92,7 +92,7 @@ func TestPostponementLimitForcesRefresh(t *testing.T) {
 	done := 0
 	refill := func(now int64) {
 		for i := 0; i < 8; i++ {
-			c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 5, Col: (done + i) % 128}, Done: func(int64) { done++ }}, now)
+			c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 5, Col: (done + i) % 128}, Done: func(int64, uint64) { done++ }}, now)
 		}
 	}
 	refill(0)
@@ -120,7 +120,7 @@ func TestPerBankRefreshWithCROWRef(t *testing.T) {
 	c := New(cfg, mech)
 	k := dram.NewChecker(c.Dev)
 	done := 0
-	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64) { done++ }}, 0)
+	c.EnqueueRead(&Request{Type: Read, Addr: dram.Addr{Row: 1}, Done: func(int64, uint64) { done++ }}, 0)
 	run(t, c, int64(tm.REFI)+2000, func() bool {
 		return done == 1 && c.Stats.Refreshes >= 4
 	})

@@ -21,6 +21,7 @@ type subState struct {
 type bank struct {
 	subs      []subState
 	openCount int
+	openSub   int   // subarray of the most recent ACT; exact iff openCount == 1
 	refBusy   int64 // per-bank refresh in progress until this cycle
 }
 
@@ -114,6 +115,14 @@ type Channel struct {
 	dataBusFree int64 // next cycle the data bus is free
 	lastColCmd  int64 // most recent RD/WR issue cycle (tCCD)
 
+	// cmdSeq increments on every issued command; cached derived queries
+	// (EarliestTimeoutPRE) are invalidated by it, so idle stretches pay
+	// for at most one full subarray scan.
+	cmdSeq    uint64
+	toSeq     uint64
+	toTimeout int64
+	toVal     int64
+
 	Stats Stats
 
 	// Check, when non-nil, independently re-validates every issued
@@ -142,6 +151,7 @@ func NewChannel(g Geometry, t Timing) *Channel {
 				subs[s].openRow = -1
 			}
 			c.ranks[r].banks[b].subs = subs
+			c.ranks[r].banks[b].openSub = -1
 		}
 	}
 	return c
@@ -152,12 +162,17 @@ func (c *Channel) sub(a Addr) *subState {
 }
 
 // Tick advances the channel's per-cycle accounting to `now`. The controller
-// calls it once per DRAM cycle before issuing commands.
+// calls it before issuing commands; `now` may be more than one cycle past
+// the previous Tick (the idle-skip contract), in which case the skipped
+// cycles are integrated exactly as if ticked one by one — no commands can
+// have issued in between, so the open-buffer population is constant over
+// the gap and refresh-busy windows are clipped to their recorded end.
 func (c *Channel) Tick(now int64) {
 	delta := now - c.lastTick
 	if delta <= 0 {
 		return
 	}
+	prev := c.lastTick
 	c.lastTick = now
 	open := int64(c.OpenBuffers())
 	c.Stats.OpenBufferCycles += open * delta
@@ -165,8 +180,12 @@ func (c *Channel) Tick(now int64) {
 		c.Stats.ActiveStandbyCycles += delta
 	}
 	for r := range c.ranks {
-		if c.ranks[r].refBusy > now {
-			c.Stats.RefreshBusyCycles += delta
+		// Cycles cy in (prev, now] with refBusy > cy.
+		if end := c.ranks[r].refBusy - 1; end > prev {
+			if end > now {
+				end = now
+			}
+			c.Stats.RefreshBusyCycles += end - prev
 		}
 	}
 }
@@ -190,6 +209,14 @@ func (c *Channel) OpenRow(a Addr) int { return c.sub(a).openRow }
 // or -1 if the bank is fully closed. With MASA, use OpenRow per subarray.
 func (c *Channel) OpenRowInBank(rankID, bankID int) int {
 	bk := &c.ranks[rankID].banks[bankID]
+	if bk.openCount == 0 {
+		return -1
+	}
+	// Single open buffer (always the case without MASA): the tracked
+	// subarray is exact, no scan needed.
+	if bk.openCount == 1 && bk.openSub >= 0 && bk.subs[bk.openSub].openRow >= 0 {
+		return bk.subs[bk.openSub].openRow
+	}
 	for s := range bk.subs {
 		if bk.subs[s].openRow >= 0 {
 			return bk.subs[s].openRow
@@ -211,7 +238,13 @@ type OpenSub struct {
 // OpenSubarrays returns every open local row buffer on the channel, in
 // (rank, bank, subarray) order.
 func (c *Channel) OpenSubarrays() []OpenSub {
-	var out []OpenSub
+	return c.OpenSubarraysAppend(nil)
+}
+
+// OpenSubarraysAppend appends every open local row buffer to buf, in
+// (rank, bank, subarray) order, and returns the extended slice. Callers on
+// the per-cycle hot path pass a reused buffer (buf[:0]) to avoid allocating.
+func (c *Channel) OpenSubarraysAppend(buf []OpenSub) []OpenSub {
 	for r := range c.ranks {
 		for b := range c.ranks[r].banks {
 			bk := &c.ranks[r].banks[b]
@@ -220,7 +253,7 @@ func (c *Channel) OpenSubarrays() []OpenSub {
 			}
 			for s := range bk.subs {
 				if bk.subs[s].openRow >= 0 {
-					out = append(out, OpenSub{
+					buf = append(buf, OpenSub{
 						Rank: r, Bank: b, Subarray: s,
 						Row: bk.subs[s].openRow, LastUse: bk.subs[s].lastUse,
 					})
@@ -228,7 +261,53 @@ func (c *Channel) OpenSubarrays() []OpenSub {
 			}
 		}
 	}
-	return out
+	return buf
+}
+
+// Horizon is a sentinel cycle meaning "no event scheduled": far enough in
+// the future that no simulation reaches it, yet safe to add small offsets
+// to without overflowing int64.
+const Horizon = int64(1) << 60
+
+// EarliestTimeoutPRE returns the earliest cycle at which some currently
+// open row could legally be closed after sitting idle for `timeout` cycles:
+// the minimum over open subarrays of max(lastUse+timeout, preReady,
+// cmdBusFree). It returns Horizon when no row is open. The result is cached
+// against the channel's command sequence number, so repeated queries over
+// an idle (command-free) stretch cost O(1).
+func (c *Channel) EarliestTimeoutPRE(timeout int64) int64 {
+	if c.toSeq == c.cmdSeq+1 && c.toTimeout == timeout {
+		return c.toVal
+	}
+	best := Horizon
+	for r := range c.ranks {
+		for b := range c.ranks[r].banks {
+			bk := &c.ranks[r].banks[b]
+			if bk.openCount == 0 {
+				continue
+			}
+			for s := range bk.subs {
+				sub := &bk.subs[s]
+				if sub.openRow < 0 {
+					continue
+				}
+				at := sub.lastUse + timeout
+				if sub.preReady > at {
+					at = sub.preReady
+				}
+				if c.cmdBusFree > at {
+					at = c.cmdBusFree
+				}
+				if at < best {
+					best = at
+				}
+			}
+		}
+	}
+	c.toSeq = c.cmdSeq + 1
+	c.toTimeout = timeout
+	c.toVal = best
+	return best
 }
 
 // ActCycle returns the cycle at which the currently open row of a's
@@ -275,7 +354,8 @@ func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings, copyRow int) {
 	}
 	rk := &c.ranks[a.Rank]
 	bk := &rk.banks[a.Bank]
-	s := &bk.subs[a.Subarray(c.Geo)]
+	si := a.Subarray(c.Geo)
+	s := &bk.subs[si]
 	s.openRow = a.Row
 	s.kind = k
 	s.plan = t
@@ -284,6 +364,8 @@ func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings, copyRow int) {
 	s.preReady = now + int64(t.RAS)
 	s.lastUse = now
 	bk.openCount++
+	bk.openSub = si
+	c.cmdSeq++
 	rk.lastACT = now
 	rk.actTimes[rk.actHead] = now
 	rk.actHead = (rk.actHead + 1) % 4
@@ -349,6 +431,7 @@ func (c *Channel) RD(a Addr, now int64) int64 {
 		s.preReady = pre
 	}
 	s.lastUse = now
+	c.cmdSeq++
 	c.Stats.RD++
 	c.Stats.RDBusyCycles += int64(c.T.BL)
 	if c.Check != nil {
@@ -396,6 +479,7 @@ func (c *Channel) WR(a Addr, now int64) {
 		s.preReady = pre
 	}
 	s.lastUse = now
+	c.cmdSeq++
 	c.Stats.WR++
 	c.Stats.WRBusyCycles += int64(c.T.BL)
 	if c.Check != nil {
@@ -429,8 +513,13 @@ func (c *Channel) PRE(a Addr, now int64) (fullyRestored bool) {
 	if ready := now + int64(c.T.RP); ready > s.actReady {
 		s.actReady = ready
 	}
-	c.ranks[a.Rank].banks[a.Bank].openCount--
+	bk := &c.ranks[a.Rank].banks[a.Bank]
+	bk.openCount--
+	if bk.openCount == 0 {
+		bk.openSub = -1
+	}
 	c.cmdBusFree = now + 1
+	c.cmdSeq++
 	c.Stats.PRE++
 	if c.Check != nil {
 		c.Check.record(CmdPRE, a, now)
@@ -475,6 +564,7 @@ func (c *Channel) REFpb(rankID, bankID int, now int64) {
 		}
 	}
 	c.cmdBusFree = now + 1
+	c.cmdSeq++
 	c.Stats.REFpb++
 	if c.Check != nil {
 		c.Check.record(CmdREFpb, Addr{Rank: rankID, Bank: bankID}, now)
@@ -519,6 +609,7 @@ func (c *Channel) REF(rankID int, now int64) {
 		}
 	}
 	c.cmdBusFree = now + 1
+	c.cmdSeq++
 	c.Stats.REF++
 	if c.Check != nil {
 		c.Check.record(CmdREF, Addr{Rank: rankID}, now)

@@ -1,0 +1,31 @@
+package metrics
+
+import "testing"
+
+// BenchmarkHistogramAdd measures the per-read latency recording cost. The
+// fixed bucket array keeps it allocation-free.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(30 + i%200))
+	}
+	if h.Count() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+// BenchmarkHistogramPercentile measures the fixed-array percentile scan.
+func BenchmarkHistogramPercentile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 10_000; i++ {
+		h.Add(float64(30 + i%500))
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = h.Percentile(99)
+	}
+	_ = sink
+}

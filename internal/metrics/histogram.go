@@ -3,14 +3,19 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
+// histBuckets is the number of logarithmic buckets: floor(log2(v)) of any
+// positive value representable in an int64-sized latency fits in [0, 63].
+const histBuckets = 64
+
 // Histogram accumulates values into logarithmic buckets (powers of two) for
-// cheap latency-distribution tracking, and reports percentiles.
+// cheap latency-distribution tracking, and reports percentiles. The buckets
+// are a fixed array so Add is allocation-free and cache-friendly on the
+// simulator's per-read hot path.
 type Histogram struct {
-	buckets map[int]int64 // floor(log2(v)) -> count
+	buckets [histBuckets]int64 // floor(log2(v)) -> count
 	count   int64
 	sum     float64
 	min     float64
@@ -19,7 +24,9 @@ type Histogram struct {
 
 // NewHistogram builds an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]int64), min: math.Inf(1), max: math.Inf(-1)}
+	h := &Histogram{}
+	h.Reset()
+	return h
 }
 
 // Add records one value (values < 1 land in bucket 0).
@@ -27,6 +34,9 @@ func (h *Histogram) Add(v float64) {
 	b := 0
 	if v >= 1 {
 		b = int(math.Floor(math.Log2(v)))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
 	}
 	h.buckets[b]++
 	h.count++
@@ -73,14 +83,12 @@ func (h *Histogram) Percentile(p float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	threshold := int64(math.Ceil(p / 100 * float64(h.count)))
 	var seen int64
-	for _, k := range keys {
+	for k := 0; k < histBuckets; k++ {
+		if h.buckets[k] == 0 {
+			continue
+		}
 		seen += h.buckets[k]
 		if seen >= threshold {
 			upper := math.Pow(2, float64(k+1))
@@ -96,7 +104,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 // Reset discards every recorded value, returning the histogram to its
 // freshly-constructed state (used at measurement start, after warmup).
 func (h *Histogram) Reset() {
-	h.buckets = make(map[int]int64)
+	h.buckets = [histBuckets]int64{}
 	h.count = 0
 	h.sum = 0
 	h.min = math.Inf(1)

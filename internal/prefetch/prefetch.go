@@ -29,6 +29,7 @@ type Prefetcher struct {
 	Cfg    Config
 	tables [][]entry
 	clock  int64
+	buf    []uint64 // reused OnMiss result buffer
 
 	Trained int64 // accesses that updated an existing entry
 	Fired   int64 // prefetch addresses produced
@@ -50,7 +51,8 @@ const (
 
 // OnMiss trains on a demand miss and returns the physical addresses to
 // prefetch (possibly none). Predictions never cross the 4 KiB page, since
-// frame randomization destroys inter-page contiguity.
+// frame randomization destroys inter-page contiguity. The returned slice is
+// reused by the next OnMiss call; consume it before training again.
 func (p *Prefetcher) OnMiss(core int, physAddr uint64) []uint64 {
 	p.clock++
 	page := physAddr >> pageBits
@@ -88,7 +90,7 @@ func (p *Prefetcher) OnMiss(core int, physAddr uint64) []uint64 {
 	}
 	e.lastLine = lineInPage
 
-	var out []uint64
+	out := p.buf[:0]
 	base := physAddr &^ ((1 << lineBits) - 1)
 	for k := 1; k <= p.Cfg.Degree; k++ {
 		next := lineInPage + stride*int64(k)
@@ -97,6 +99,7 @@ func (p *Prefetcher) OnMiss(core int, physAddr uint64) []uint64 {
 		}
 		out = append(out, base+uint64(stride*int64(k))<<lineBits)
 	}
+	p.buf = out
 	p.Fired += int64(len(out))
 	return out
 }

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/trace"
+)
+
+// BenchmarkRunBaseline runs a small single-core baseline simulation per
+// iteration: the end-to-end tick hot path (cores, LLC, controllers, device)
+// with idle skipping active. Run with -benchmem to watch the per-run
+// allocation budget — the read path is pooled and must not allocate per
+// request.
+func BenchmarkRunBaseline(b *testing.B) {
+	cfg := Default(0, dram.Density8Gb, 64)
+	cfg.WarmupInsts = 2_000
+	cfg.MeasureInsts = 20_000
+	app, err := trace.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{app.Gen(1)}).Run()
+		if res.Ctrl.ReadsServed == 0 {
+			b.Fatal("run served no reads")
+		}
+	}
+}

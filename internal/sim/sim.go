@@ -51,6 +51,12 @@ type Config struct {
 	WarmupInsts  int64
 	MeasureInsts int64
 
+	// MaxMeasureCycles, when positive, caps the measurement interval at
+	// that many CPU cycles instead of the default generous formula. Runs
+	// that hit the cap report Result.Truncated. Used by tests; production
+	// configs leave it zero.
+	MaxMeasureCycles int64
+
 	Seed int64
 }
 
@@ -91,6 +97,11 @@ type Result struct {
 	ReadP50Ns   float64
 	ReadP99Ns   float64
 	RefreshMult int
+	// Truncated reports that the measurement loop hit its cycle limit
+	// before every core retired MeasureInsts. IPC for the unfinished cores
+	// is computed from their actual retired counts, so it stays honest,
+	// but the run did not measure the interval it was asked to.
+	Truncated bool
 	// Verify holds the correctness oracle's findings (zero-valued unless
 	// Config.Verify was set).
 	Verify oracle.Findings
@@ -111,27 +122,47 @@ type System struct {
 	dramCycle int64
 	accum     int
 
+	// readDone is the one completion callback shared by every read
+	// request (built once in New): it delivers the returned line to the
+	// LLC at the current CPU cycle. Requests carry the line address, so
+	// the read path needs no per-request closure.
+	readDone func(now int64, line uint64)
+
 	physPages uint64
 }
 
 // memPort adapts the controllers to the cache's Memory interface.
 type memPort struct{ s *System }
 
-func (m memPort) SendRead(lineAddr uint64, pref bool, done func(now int64)) bool {
+func (m memPort) SendRead(lineAddr uint64, pref bool) bool {
 	s := m.s
 	a := s.Mapper.Decode(lineAddr)
-	req := &ctrl.Request{Type: ctrl.Read, Addr: a, IsPref: pref, Done: func(int64) {
-		// Completion callbacks run in DRAM-cycle context; deliver to
-		// the CPU side at the current CPU cycle.
-		done(s.cpuCycle)
-	}}
-	return s.Ctrls[a.Channel].EnqueueRead(req, s.dramCycle)
+	c := s.Ctrls[a.Channel]
+	req := c.GetRequest()
+	req.Type = ctrl.Read
+	req.Addr = a
+	req.Line = lineAddr
+	req.IsPref = pref
+	req.Done = s.readDone
+	if !c.EnqueueRead(req, s.dramCycle) {
+		c.PutRequest(req)
+		return false
+	}
+	return true
 }
 
 func (m memPort) SendWrite(lineAddr uint64) bool {
 	s := m.s
 	a := s.Mapper.Decode(lineAddr)
-	return s.Ctrls[a.Channel].EnqueueWrite(&ctrl.Request{Type: ctrl.Write, Addr: a}, s.dramCycle)
+	c := s.Ctrls[a.Channel]
+	req := c.GetRequest()
+	req.Type = ctrl.Write
+	req.Addr = a
+	if !c.EnqueueWrite(req, s.dramCycle) {
+		c.PutRequest(req)
+		return false
+	}
+	return true
 }
 
 // llcPort wraps the LLC for the cores, adding prefetcher training.
@@ -194,6 +225,9 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 		}
 	}
 	s.LLC = cache.New(cfg.LLC, memPort{s}, len(gens))
+	// Completion callbacks run in DRAM-cycle context; deliver to the CPU
+	// side at the current CPU cycle.
+	s.readDone = func(_ int64, line uint64) { s.LLC.Fill(s.cpuCycle, line) }
 	// Start from a steady-state (full, partially dirty) LLC so that
 	// writeback traffic exists even in short runs.
 	s.LLC.Prefill(s.Mapper.Bits()-6, 0.25, cfg.Seed)
@@ -221,6 +255,61 @@ func (s *System) tick() {
 		for _, c := range s.Ctrls {
 			c.Tick(s.dramCycle)
 		}
+	}
+}
+
+// skipIdle advances the clocks past CPU cycles that provably change nothing:
+// every core is stalled (its per-cycle accounting replicated by AdvanceIdle),
+// the LLC has no event before its reported next one, and no controller has
+// work before its reported next DRAM cycle. The skip wakes exactly at the
+// earliest of those events (converted to CPU cycles) and never crosses
+// `limit`, so a skipping run is cycle-for-cycle identical to a non-skipping
+// one — including every statistic.
+func (s *System) skipIdle(limit int64) {
+	for _, c := range s.Cores {
+		if !c.Stalled() {
+			return
+		}
+	}
+	// Latest CPU cycle we may skip to is one before the next LLC event.
+	n := s.LLC.NextEvent(s.cpuCycle) - 1 - s.cpuCycle
+	dnext := dram.Horizon
+	for _, c := range s.Ctrls {
+		if e := c.NextEvent(s.dramCycle); e < dnext {
+			dnext = e
+		}
+	}
+	if dnext < dram.Horizon {
+		// The k-th DRAM tick from accumulator state `accum` lands
+		// ceil((5k-accum)/2) CPU cycles ahead; stop one cycle short so the
+		// normal tick performs it.
+		k := dnext - s.dramCycle
+		m := (5*k - int64(s.accum) + 1) / 2
+		if m-1 < n {
+			n = m - 1
+		}
+	}
+	if rest := limit - s.cpuCycle; n > rest {
+		n = rest
+	}
+	if n <= 0 {
+		return
+	}
+	s.cpuCycle += n
+	for _, c := range s.Cores {
+		c.AdvanceIdle(n)
+	}
+	total := int64(s.accum) + 2*n
+	s.dramCycle += total / 5
+	s.accum = int(total % 5)
+}
+
+// syncDevStats brings each device's delta-based cycle accounting up to the
+// present; idle skipping can leave it behind, and stats snapshots must not
+// read stale counters. Idempotent at a fixed cycle.
+func (s *System) syncDevStats() {
+	for _, c := range s.Ctrls {
+		c.Dev.Tick(s.dramCycle)
 	}
 }
 
@@ -257,8 +346,11 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
+		s.skipIdle(warmLimit)
 	}
-	// Reset measurement state.
+	// Reset measurement state. Catch device accounting up to the present
+	// first, so the snapshots see current counters.
+	s.syncDevStats()
 	startDRAM := s.dramCycle
 	var devSnap []dram.Stats
 	var ctrlSnap []ctrl.Stats
@@ -283,6 +375,9 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	target := s.Cfg.MeasureInsts
 	finish := make([]int64, len(s.Cores))
 	limit := s.cpuCycle + target*int64(len(s.Cores))*10_000 + 50_000_000
+	if s.Cfg.MaxMeasureCycles > 0 {
+		limit = s.cpuCycle + s.Cfg.MaxMeasureCycles
+	}
 	for s.cpuCycle < limit {
 		s.tick()
 		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
@@ -300,17 +395,23 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		if doneAll {
 			break
 		}
+		s.skipIdle(limit)
 	}
+	s.syncDevStats()
 
 	res := Result{RefreshMult: s.Mech.RefreshMultiplier()}
 	res.DRAMCycles = s.dramCycle - startDRAM
 	insts := make([]int64, len(s.Cores))
 	for i, c := range s.Cores {
-		cyc := finish[i]
+		cyc, retired := finish[i], target
 		if cyc == 0 {
-			cyc = c.Cycles
+			// The loop hit its cycle limit before this core retired the
+			// target. Its IPC uses the instructions it actually retired;
+			// the old target/Cycles formula overstated it.
+			cyc, retired = c.Cycles, c.Retired
+			res.Truncated = true
 		}
-		res.IPC = append(res.IPC, float64(target)/float64(cyc))
+		res.IPC = append(res.IPC, float64(retired)/float64(cyc))
 		insts[i] = c.Retired
 		res.Cycles = c.Cycles // all cores share the clock
 	}
@@ -318,7 +419,6 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	res.LLC = s.LLC.Stats
 
 	params := energy.DefaultParams()
-	var lat float64
 	for i, c := range s.Ctrls {
 		var dev dram.Stats
 		dev = diffDram(c.Dev.Stats, devSnap[i])
@@ -326,9 +426,11 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		cs := diffCtrl(c.Stats, ctrlSnap[i])
 		res.Ctrl = addCtrl(res.Ctrl, cs)
 		res.Energy = res.Energy.Add(energy.Compute(dev, s.Cfg.T, res.DRAMCycles, params))
-		lat += cs.AvgReadLatencyNs()
 	}
-	res.AvgReadNs = lat / float64(len(s.Ctrls))
+	// Mean read latency weighted by each channel's read count. Averaging
+	// the per-channel means would let a nearly idle channel's handful of
+	// reads count as much as a busy channel's millions.
+	res.AvgReadNs = res.Ctrl.AvgReadLatencyNs()
 	allLat := metrics.NewHistogram()
 	for _, c := range s.Ctrls {
 		allLat.Merge(c.ReadLatency)

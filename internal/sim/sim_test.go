@@ -3,9 +3,11 @@ package sim
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 
 	"crowdram/internal/core"
+	"crowdram/internal/ctrl"
 	"crowdram/internal/dram"
 	"crowdram/internal/retention"
 	"crowdram/internal/trace"
@@ -256,5 +258,73 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a.IPC[0] != b.IPC[0] || a.DRAM != b.DRAM || a.CROW != b.CROW {
 		t.Error("identical configurations must produce identical results")
+	}
+}
+
+// TestAvgReadNsWeightsByChannelLoad: the reported mean read latency must
+// weight each channel by its read count. Averaging per-channel means lets a
+// nearly idle channel's few (slow) reads count as much as a hot channel's
+// millions, overstating the system mean.
+func TestAvgReadNsWeightsByChannelLoad(t *testing.T) {
+	hot := ctrl.Stats{ReadsServed: 1_000_000, ReadLatencySum: 40_000_000} // mean 40 cycles
+	idle := ctrl.Stats{ReadsServed: 4, ReadLatencySum: 4_000}             // mean 1000 cycles
+	sum := addCtrl(hot, idle)
+	want := float64(hot.ReadLatencySum+idle.ReadLatencySum) /
+		float64(hot.ReadsServed+idle.ReadsServed) * dram.Cycle
+	if got := sum.AvgReadLatencyNs(); got != want {
+		t.Fatalf("aggregated AvgReadLatencyNs = %g, want sum-of-sums/sum-of-counts = %g", got, want)
+	}
+	biased := (hot.AvgReadLatencyNs() + idle.AvgReadLatencyNs()) / 2
+	if math.Abs(sum.AvgReadLatencyNs()-biased) < 0.1 {
+		t.Fatal("test is vacuous: weighted mean and mean-of-means coincide")
+	}
+}
+
+// TestAvgReadNsMatchesAggregateStats: end to end, Result.AvgReadNs must be
+// exactly the read-weighted mean over channels, i.e. derived from the summed
+// controller stats rather than from per-channel means.
+func TestAvgReadNsMatchesAggregateStats(t *testing.T) {
+	cfg := smallCfg(0)
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	res := s.Run()
+	if res.Ctrl.ReadsServed == 0 {
+		t.Fatal("run served no reads")
+	}
+	if want := res.Ctrl.AvgReadLatencyNs(); res.AvgReadNs != want {
+		t.Errorf("AvgReadNs = %g, want aggregate-weighted %g", res.AvgReadNs, want)
+	}
+}
+
+// TestTruncatedRunReportsHonestIPC: a run that hits its cycle limit before
+// the cores retire the target must say so, and must compute IPC from the
+// instructions actually retired instead of pretending the target was met.
+func TestTruncatedRunReportsHonestIPC(t *testing.T) {
+	cfg := smallCfg(0)
+	cfg.MaxMeasureCycles = 30_000
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("mcf", 1, t)})
+	res := s.Run()
+	if !res.Truncated {
+		t.Fatal("run capped far below the instruction target must report Truncated")
+	}
+	c := s.Cores[0]
+	if c.Retired >= cfg.MeasureInsts {
+		t.Fatalf("core retired %d >= target %d; cap too generous for this test", c.Retired, cfg.MeasureInsts)
+	}
+	want := float64(c.Retired) / float64(c.Cycles)
+	if res.IPC[0] != want {
+		t.Errorf("truncated IPC = %g, want retired/cycles = %g", res.IPC[0], want)
+	}
+	overstated := float64(cfg.MeasureInsts) / float64(c.Cycles)
+	if res.IPC[0] >= overstated {
+		t.Errorf("truncated IPC %g not below the old target/cycles value %g", res.IPC[0], overstated)
+	}
+}
+
+// TestFullRunNotTruncated: a normally completing run must not set the flag.
+func TestFullRunNotTruncated(t *testing.T) {
+	cfg := smallCfg(0)
+	s := New(cfg, &core.Baseline{T: cfg.T}, []trace.Generator{gen("gcc", 1, t)})
+	if res := s.Run(); res.Truncated {
+		t.Error("completed run must not report Truncated")
 	}
 }
