@@ -1,0 +1,105 @@
+// Command crowserve runs the CROW reproduction as a long-lived HTTP
+// service: simulations and whole experiments are submitted as jobs, queued
+// with priorities and admission control, executed on the shared memoizing
+// engine (identical submissions are cache hits), observable as an SSE event
+// stream, and cancellable — see DESIGN.md §8.
+//
+// Quickstart:
+//
+//	crowserve -addr :8080 -j 4 &
+//	curl -s localhost:8080/v1/jobs -d '{"experiment": "fig8"}'
+//	curl -s localhost:8080/v1/jobs -d '{"options": {"Mechanism": "crow-cache", "Workloads": ["mcf"]}}'
+//	curl -N localhost:8080/v1/jobs/j000001/events
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, inflight jobs
+// finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdram/internal/exp"
+	"crowdram/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "jobs serviced concurrently")
+		jobs         = flag.Int("j", 0, "max simulations in flight across all jobs (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "admitted-but-not-started job bound; beyond it submissions get 503")
+		insts        = flag.Int64("insts", 300_000, "measured instructions per core")
+		mixes        = flag.Int("mixes", 3, "four-core mixes per workload group")
+		seed         = flag.Int64("seed", 1, "random seed")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; overridable per job)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound for inflight jobs")
+		verify       = flag.Bool("verify", false, "run the correctness oracle alongside every simulation")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Scale:         exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed},
+		Workers:       *workers,
+		EngineWorkers: *jobs,
+		QueueDepth:    *queueDepth,
+		RunTimeout:    *runTimeout,
+		JobTimeout:    *jobTimeout,
+		Verify:        *verify,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "crowserve: listening on %s (%d workers, queue %d)\n",
+			*addr, *workers, *queueDepth)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "crowserve: %v: draining (new submissions get 503)\n", s)
+	}
+
+	// Drain the job service first so inflight work completes, then close
+	// the listener. A second signal, or the drain timeout, forces it.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "crowserve: second signal, cancelling inflight jobs")
+		cancel()
+	}()
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "crowserve: drain cut short: %v\n", err)
+	}
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	defer stop()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "crowserve: drained, bye")
+	return nil
+}

@@ -1,0 +1,99 @@
+package crow
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"crowdram/internal/trace"
+)
+
+// Mechanisms returns every selectable mechanism in declaration order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{Baseline, Cache, Ref, CacheRef, Hammer, IdealCache,
+		IdealNoRefresh, TLDRAM, SALP, RAIDR, ChargeCache}
+}
+
+// DecodeOptions parses Options from JSON strictly: an unknown field is an
+// error, not silence — a remote caller who misspells "CopyRows" gets a clear
+// rejection instead of a simulation of something else. The decoded value is
+// additionally validated (see Validate). It is the deserializer behind
+// crowserve's POST /v1/jobs.
+func DecodeOptions(data []byte) (Options, error) {
+	var o Options
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&o); err != nil {
+		return Options{}, fmt.Errorf("crow: invalid options: %w", err)
+	}
+	// A second document in the payload is as suspect as an unknown field.
+	if dec.More() {
+		return Options{}, fmt.Errorf("crow: invalid options: trailing data after JSON document")
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// Validate reports whether the options describe a runnable simulation,
+// applying the same checks Run performs at build time — mechanism, density,
+// workload names and counts — plus sign checks on the numeric knobs, so
+// callers accepting Options over the wire can reject bad requests before
+// queueing them.
+func (o Options) Validate() error {
+	d := o.withDefaults()
+	known := false
+	for _, m := range Mechanisms() {
+		if d.Mechanism == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("crow: unknown mechanism %q", d.Mechanism)
+	}
+	switch d.DensityGbit {
+	case 8, 16, 32, 64:
+	default:
+		return fmt.Errorf("crow: unsupported density %d Gbit (want 8, 16, 32 or 64)", d.DensityGbit)
+	}
+	if len(o.TraceFiles) > 0 {
+		if len(o.TraceFiles) > 4 {
+			return fmt.Errorf("crow: want 1-4 trace files, got %d", len(o.TraceFiles))
+		}
+	} else {
+		if len(d.Workloads) < 1 || len(d.Workloads) > 4 {
+			return fmt.Errorf("crow: want 1-4 workloads, got %d", len(d.Workloads))
+		}
+		for _, name := range d.Workloads {
+			if _, err := trace.ByName(name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"CopyRows", int64(d.CopyRows)},
+		{"WeakRowsPerSubarray", int64(d.WeakRowsPerSubarray)},
+		{"LLCBytes", d.LLCBytes},
+		{"TLDRAMNearRows", int64(d.TLDRAMNearRows)},
+		{"SALPSubarrays", int64(d.SALPSubarrays)},
+		{"HammerThreshold", int64(d.HammerThreshold)},
+		{"TableShareGroup", int64(d.TableShareGroup)},
+		{"ControllerCap", int64(d.ControllerCap)},
+		{"RefreshPostpone", int64(d.RefreshPostpone)},
+		{"MeasureInsts", d.MeasureInsts},
+		{"WarmupInsts", d.WarmupInsts},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("crow: %s must be non-negative, got %d", f.name, f.v)
+		}
+	}
+	if d.RefreshWindowMS < 0 || d.RowTimeoutNs < 0 {
+		return fmt.Errorf("crow: refresh window and row timeout must be non-negative")
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package crow
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOptionsJSONRoundTrip: marshal → unmarshal must reproduce the value and
+// its canonical key, for representative non-default configurations. The
+// service depends on this — Options travel over the wire and must land in
+// the same cache entry they would hit locally.
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	cases := []Options{
+		{},
+		{Mechanism: Cache, Workloads: []string{"mcf", "lbm"}, CopyRows: 16},
+		{Mechanism: CacheRef, Workloads: []string{"gcc"}, DensityGbit: 32,
+			RefreshWindowMS: 128, Prefetch: true, PerBankRefresh: true,
+			RefreshPostpone: 8, TableShareGroup: 4, Verify: true},
+		{Mechanism: SALP, SALPSubarrays: 64, SALPOpenPage: true, Seed: 7},
+		{Mechanism: TLDRAM, TLDRAMNearRows: 16, LLCBytes: 16 << 20,
+			MeasureInsts: 123_456, WarmupInsts: 12_000},
+	}
+	for i, o := range cases {
+		b, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		got, err := DecodeOptions(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, o) {
+			t.Errorf("case %d: round trip changed options:\n  in  %+v\n  out %+v", i, o, got)
+		}
+		if got.Key() != o.Key() {
+			t.Errorf("case %d: round trip changed the canonical key", i)
+		}
+	}
+}
+
+// TestKeyStableAcrossDecode: a defaulted field spelled explicitly in the
+// wire form must land in the same cache entry as the zero form.
+func TestKeyStableAcrossDecode(t *testing.T) {
+	zero, err := DecodeOptions([]byte(`{"Workloads":["mcf"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := DecodeOptions([]byte(
+		`{"Workloads":["mcf"],"CopyRows":8,"DensityGbit":8,"RefreshWindowMS":64,"Seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Key() != explicit.Key() {
+		t.Error("explicit defaults must share the zero form's key")
+	}
+}
+
+func TestDecodeOptionsRejectsUnknownFields(t *testing.T) {
+	for _, payload := range []string{
+		`{"CopyRowz": 8}`,                    // misspelled knob
+		`{"Workloads":["mcf"],"extra":true}`, // stray field
+		`{"Workloads":["mcf"]}{"x":1}`,       // trailing document
+		`{"Workloads":"mcf"}`,                // wrong type
+		`not json`,
+	} {
+		if _, err := DecodeOptions([]byte(payload)); err == nil {
+			t.Errorf("DecodeOptions(%q) must fail", payload)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"mechanism", Options{Mechanism: "warp-drive"}, "unknown mechanism"},
+		{"density", Options{DensityGbit: 12}, "unsupported density"},
+		{"workload name", Options{Workloads: []string{"nope"}}, "unknown app"},
+		{"workload count", Options{Workloads: []string{"mcf", "mcf", "mcf", "mcf", "mcf"}}, "1-4 workloads"},
+		{"trace count", Options{TraceFiles: []string{"a", "b", "c", "d", "e"}}, "1-4 trace files"},
+		{"negative insts", Options{MeasureInsts: -1}, "non-negative"},
+		{"negative copyrows", Options{CopyRows: -2}, "non-negative"},
+		{"negative window", Options{RefreshWindowMS: -5}, "non-negative"},
+	}
+	for _, c := range bad {
+		err := c.o.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate must fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	good := []Options{
+		{},
+		{Mechanism: Hammer, Workloads: []string{"mcf", "lbm", "gcc", "soplex"}},
+		{TraceFiles: []string{"/tmp/a.trace"}}, // existence checked at run time
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("good case %d: %v", i, err)
+		}
+	}
+}

@@ -70,6 +70,37 @@ type Event struct {
 // pool serializes event delivery.
 type Observer func(Event)
 
+// Snapshot is a point-in-time view of the pool's gauges and counters: the
+// single source of truth behind the crowserve /metrics endpoint, progress
+// dashboards, and tests — no test-only introspection required.
+type Snapshot struct {
+	// Queued is the number of jobs waiting for a worker slot.
+	Queued int `json:"queued"`
+	// Inflight is the number of jobs currently executing.
+	Inflight int `json:"inflight"`
+	// Entries is the number of memoized (completed or in-flight) cache
+	// entries.
+	Entries int `json:"entries"`
+	// Executions counts job functions actually invoked (cache misses).
+	Executions int64 `json:"executions"`
+	// CacheHits counts requests satisfied by a memoized or coalesced
+	// in-flight execution instead of a fresh one.
+	CacheHits int64 `json:"cache_hits"`
+	// Failures counts executions that returned an error (these entries
+	// are evicted, so a later request retries).
+	Failures int64 `json:"failures"`
+}
+
+// HitRatio returns CacheHits / (CacheHits + Executions), the fraction of
+// requests served without running a job function (0 when idle).
+func (s Snapshot) HitRatio() float64 {
+	total := s.CacheHits + s.Executions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
 // Pool is a memoizing bounded worker pool. The zero value is not usable;
 // call New.
 type Pool[V any] struct {
@@ -78,12 +109,19 @@ type Pool[V any] struct {
 
 	slots chan struct{}
 
-	obsMu sync.Mutex
-	obs   Observer
+	obsMu  sync.Mutex
+	obs    map[int]Observer
+	obsSeq int
 
 	mu      sync.Mutex
 	entries map[string]*entry[V]
 	pending int
+
+	queued     int
+	inflight   int
+	executions int64
+	cacheHits  int64
+	failures   int64
 }
 
 // entry is one memoized job: done closes when the result is available.
@@ -105,7 +143,7 @@ func WithTimeout[V any](d time.Duration) Option[V] {
 
 // WithObserver attaches a structured progress observer.
 func WithObserver[V any](obs Observer) Option[V] {
-	return func(p *Pool[V]) { p.obs = obs }
+	return func(p *Pool[V]) { p.AddObserver(obs) }
 }
 
 // New builds a pool running at most workers jobs concurrently.
@@ -118,6 +156,7 @@ func New[V any](workers int, opts ...Option[V]) *Pool[V] {
 		workers: workers,
 		slots:   make(chan struct{}, workers),
 		entries: make(map[string]*entry[V]),
+		obs:     make(map[int]Observer),
 	}
 	for _, o := range opts {
 		o(p)
@@ -128,14 +167,45 @@ func New[V any](workers int, opts ...Option[V]) *Pool[V] {
 // Workers returns the concurrency bound.
 func (p *Pool[V]) Workers() int { return p.workers }
 
+// AddObserver subscribes a new observer to the pool's event stream and
+// returns a function that unsubscribes it. Observers may come and go while
+// jobs run: the serving layer attaches one per streaming client. Like
+// WithObserver, delivery is serialized, so observers need no locking.
+func (p *Pool[V]) AddObserver(obs Observer) (remove func()) {
+	p.obsMu.Lock()
+	id := p.obsSeq
+	p.obsSeq++
+	p.obs[id] = obs
+	p.obsMu.Unlock()
+	return func() {
+		p.obsMu.Lock()
+		delete(p.obs, id)
+		p.obsMu.Unlock()
+	}
+}
+
+// Snapshot returns the pool's current gauges (queued, inflight, entries) and
+// lifetime counters (executions, cache hits, failures).
+func (p *Pool[V]) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Snapshot{
+		Queued:     p.queued,
+		Inflight:   p.inflight,
+		Entries:    len(p.entries),
+		Executions: p.executions,
+		CacheHits:  p.cacheHits,
+		Failures:   p.failures,
+	}
+}
+
 // emit delivers an event under a lock so observers need none of their own.
 func (p *Pool[V]) emit(e Event) {
-	if p.obs == nil {
-		return
-	}
 	p.obsMu.Lock()
 	defer p.obsMu.Unlock()
-	p.obs(e)
+	for _, obs := range p.obs {
+		obs(e)
+	}
 }
 
 func (p *Pool[V]) pendingCount() int {
@@ -155,6 +225,9 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 		p.mu.Unlock()
 		select {
 		case <-e.done:
+			p.mu.Lock()
+			p.cacheHits++
+			p.mu.Unlock()
 			p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount()})
 			return e.val, e.err
 		case <-ctx.Done():
@@ -165,6 +238,7 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 	e := &entry[V]{done: make(chan struct{})}
 	p.entries[key] = e
 	p.pending++
+	p.queued++
 	p.mu.Unlock()
 
 	p.emit(Event{Type: EventQueued, Key: key, Label: label, Pending: p.pendingCount()})
@@ -178,6 +252,12 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 		var zero V
 		return zero, ctx.Err()
 	}
+
+	p.mu.Lock()
+	p.queued--
+	p.inflight++
+	p.executions++
+	p.mu.Unlock()
 
 	p.emit(Event{Type: EventStarted, Key: key, Label: label, Pending: p.pendingCount()})
 	runCtx, cancel := ctx, context.CancelFunc(func() {})
@@ -193,9 +273,11 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 	p.mu.Lock()
 	e.val, e.err = val, err
 	p.pending--
+	p.inflight--
 	if err != nil {
 		// Failed jobs are not memoized as successes, but current
 		// waiters still receive the error; a later Do retries.
+		p.failures++
 		delete(p.entries, key)
 	}
 	p.mu.Unlock()
@@ -211,6 +293,7 @@ func (p *Pool[V]) abandon(key string, e *entry[V], err error) {
 	p.mu.Lock()
 	e.err = err
 	p.pending--
+	p.queued--
 	delete(p.entries, key)
 	p.mu.Unlock()
 	close(e.done)

@@ -159,6 +159,91 @@ func TestObserverEventSequence(t *testing.T) {
 	}
 }
 
+func TestSnapshotCounters(t *testing.T) {
+	p := New[int](2)
+	if s := p.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("fresh pool snapshot = %+v, want zero", s)
+	}
+
+	// One execution, one completed-entry cache hit.
+	p.Do(context.Background(), "a", "a", func(context.Context) (int, error) { return 1, nil })
+	p.Do(context.Background(), "a", "a", func(context.Context) (int, error) { return 1, nil })
+	// One failure (evicted, so Entries stays 1).
+	p.Do(context.Background(), "b", "b", func(context.Context) (int, error) { return 0, errors.New("x") })
+
+	s := p.Snapshot()
+	if s.Executions != 2 || s.CacheHits != 1 || s.Failures != 1 {
+		t.Errorf("snapshot = %+v, want 2 executions, 1 hit, 1 failure", s)
+	}
+	if s.Entries != 1 {
+		t.Errorf("failed entry must be evicted: entries = %d, want 1", s.Entries)
+	}
+	if s.Queued != 0 || s.Inflight != 0 {
+		t.Errorf("idle pool must report zero gauges, got %+v", s)
+	}
+	if got := s.HitRatio(); got != 1.0/3.0 {
+		t.Errorf("HitRatio = %v, want 1/3", got)
+	}
+	if (Snapshot{}).HitRatio() != 0 {
+		t.Error("idle HitRatio must be 0")
+	}
+}
+
+func TestSnapshotGaugesMidFlight(t *testing.T) {
+	p := New[int](1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), "run", "run", func(context.Context) (int, error) {
+			close(started)
+			<-block
+			return 1, nil
+		})
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), "wait", "wait", func(context.Context) (int, error) { return 2, nil })
+	}()
+	// Wait until the second job is queued behind the single worker slot.
+	for {
+		s := p.Snapshot()
+		if s.Queued == 1 && s.Inflight == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	if s := p.Snapshot(); s.Queued != 0 || s.Inflight != 0 || s.Executions != 2 {
+		t.Errorf("drained snapshot = %+v", s)
+	}
+}
+
+func TestAddRemoveObserver(t *testing.T) {
+	p := New[int](1)
+	var a, b []Event
+	removeA := p.AddObserver(func(e Event) { a = append(a, e) })
+	removeB := p.AddObserver(func(e Event) { b = append(b, e) })
+	p.Do(context.Background(), "k", "k", func(context.Context) (int, error) { return 1, nil })
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("both observers must see queued/started/finished: %d, %d", len(a), len(b))
+	}
+	removeB()
+	p.Do(context.Background(), "k", "k", func(context.Context) (int, error) { return 1, nil })
+	if len(a) != 4 {
+		t.Errorf("remaining observer must see the cache hit: %d events", len(a))
+	}
+	if len(b) != 3 {
+		t.Errorf("removed observer must see nothing new: %d events", len(b))
+	}
+	removeA()
+	removeA() // double-remove is harmless
+}
+
 func TestAllRunsPlan(t *testing.T) {
 	p := New[int](4)
 	var execs atomic.Int64

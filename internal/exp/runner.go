@@ -104,6 +104,7 @@ type Runner struct {
 	pool   *engine.Pool[crow.Report]
 	ctx    context.Context
 	verify bool
+	run    func(context.Context, crow.Options) (crow.Report, error)
 }
 
 // RunnerOption configures a Runner.
@@ -115,6 +116,8 @@ type runnerConfig struct {
 	observer engine.Observer
 	ctx      context.Context
 	verify   bool
+	pool     *engine.Pool[crow.Report]
+	run      func(context.Context, crow.Options) (crow.Report, error)
 }
 
 // Workers sets how many simulations may execute concurrently (the
@@ -140,27 +143,60 @@ func WithContext(ctx context.Context) RunnerOption { return func(c *runnerConfig
 // events and aborts the sweep like any other run failure.
 func Verify() RunnerOption { return func(c *runnerConfig) { c.verify = true } }
 
+// UsePool makes the Runner execute on an existing engine pool instead of
+// constructing its own, so independent Runners (e.g. per-request runners in
+// the crowserve service) share one memoization cache: a run any of them has
+// completed is a cache hit for all of them. The pool's own worker bound and
+// timeout apply; Workers and Timeout options are ignored. An Observe option
+// subscribes to the shared pool permanently — callers needing a scoped
+// subscription use Pool().AddObserver's remove function instead.
+func UsePool(p *engine.Pool[crow.Report]) RunnerOption {
+	return func(c *runnerConfig) { c.pool = p }
+}
+
+// RunWith substitutes the function that executes one simulation (default
+// crow.RunContext). Tests use it to inject context-aware hooks — e.g. a run
+// that blocks until cancelled — without paying for real simulations; the
+// memoization layer above it is unchanged.
+func RunWith(fn func(context.Context, crow.Options) (crow.Report, error)) RunnerOption {
+	return func(c *runnerConfig) { c.run = fn }
+}
+
 // NewRunner builds a Runner at the given scale. Without options it behaves
 // like the historical sequential runner: one worker, no timeout.
 func NewRunner(s Scale, opts ...RunnerOption) *Runner {
-	cfg := runnerConfig{workers: 1, ctx: context.Background()}
+	cfg := runnerConfig{workers: 1, ctx: context.Background(), run: crow.RunContext}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var popts []engine.Option[crow.Report]
-	if cfg.timeout > 0 {
-		popts = append(popts, engine.WithTimeout[crow.Report](cfg.timeout))
+	pool := cfg.pool
+	if pool == nil {
+		var popts []engine.Option[crow.Report]
+		if cfg.timeout > 0 {
+			popts = append(popts, engine.WithTimeout[crow.Report](cfg.timeout))
+		}
+		pool = engine.New(cfg.workers, popts...)
 	}
 	if cfg.observer != nil {
-		popts = append(popts, engine.WithObserver[crow.Report](cfg.observer))
+		pool.AddObserver(cfg.observer)
 	}
 	return &Runner{
 		Scale:  s,
-		pool:   engine.New(cfg.workers, popts...),
+		pool:   pool,
 		ctx:    cfg.ctx,
 		verify: cfg.verify,
+		run:    cfg.run,
 	}
 }
+
+// Pool exposes the Runner's engine pool for metrics snapshots and event
+// subscription (engine.Pool.Snapshot / AddObserver).
+func (r *Runner) Pool() *engine.Pool[crow.Report] { return r.pool }
+
+// KeyOf returns the canonical memoization key the Runner uses for o: the
+// scale-pinned options' crow Key. Two Runners at the same scale sharing a
+// pool agree on keys, which is what makes the cross-request cache work.
+func (r *Runner) KeyOf(o crow.Options) string { return r.scaled(o).Key() }
 
 // Workers returns the runner's concurrency bound.
 func (r *Runner) Workers() int { return r.pool.Workers() }
@@ -184,7 +220,7 @@ func (r *Runner) scaled(o crow.Options) crow.Options {
 // violations (only possible when the runner verifies).
 func (r *Runner) exec(o crow.Options) func(context.Context) (crow.Report, error) {
 	return func(ctx context.Context) (crow.Report, error) {
-		rep, err := crow.RunContext(ctx, o)
+		rep, err := r.run(ctx, o)
 		if err == nil && rep.Violations > 0 {
 			sample := ""
 			if len(rep.ViolationSamples) > 0 {

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdram/crow"
+	"crowdram/internal/exp"
+)
+
+// benchSubmitWait drives one submit→poll-to-done round trip over HTTP.
+func benchSubmitWait(b *testing.B, ts *httptest.Server, body string) {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit = %d", resp.StatusCode)
+	}
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				b.Fatalf("job ended %q: %s", st.State, st.Error)
+			}
+			return
+		}
+	}
+}
+
+// BenchmarkWarmCacheSubmissions is the BENCH_service.json baseline:
+// sustained submit→done round trips per second when every job is a warm
+// engine-cache hit (the simulation itself executed once, before the timer).
+// It measures the serving overhead — queue, worker handoff, HTTP, JSON —
+// not simulation time.
+func BenchmarkWarmCacheSubmissions(b *testing.B) {
+	s := New(Config{Scale: exp.QuickScale(), Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	const body = `{"options": {"Mechanism": "crow-cache", "Workloads": ["gcc"]}}`
+	benchSubmitWait(b, ts, body) // execute the one real simulation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSubmitWait(b, ts, body)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	if snap := s.EngineSnapshot(); snap.Executions != 1 {
+		b.Fatalf("warm-cache bench executed %d simulations, want 1", snap.Executions)
+	}
+}
+
+// BenchmarkSubmitQueuePop isolates the job-subsystem overhead without HTTP:
+// submit, worker pickup, instant hook run, completion wait.
+func BenchmarkSubmitQueuePop(b *testing.B) {
+	s := New(Config{
+		Scale:   exp.QuickScale(),
+		Workers: 4,
+		Run: func(_ context.Context, o crow.Options) (crow.Report, error) {
+			return crow.Report{IPC: make([]float64, len(o.Workloads))}, nil
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	spec := Spec{Options: json.RawMessage(`{"Mechanism": "crow-cache", "Workloads": ["gcc"]}`)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitTerminal(j)
+	}
+}
+
+// waitTerminal blocks on the job's event log until a terminal state lands.
+func waitTerminal(j *Job) {
+	n := 0
+	for {
+		evs, changed, terminal := j.EventsSince(n)
+		n += len(evs)
+		if terminal {
+			return
+		}
+		<-changed
+	}
+}
+
+// BenchmarkEventStreamReplay measures draining a finished job's SSE log.
+func BenchmarkEventStreamReplay(b *testing.B) {
+	s := New(Config{
+		Scale:   exp.QuickScale(),
+		Workers: 1,
+		Run: func(_ context.Context, o crow.Options) (crow.Report, error) {
+			return crow.Report{IPC: make([]float64, len(o.Workloads))}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	j, err := s.Submit(Spec{Options: json.RawMessage(`{"Workloads": ["gcc"]}`)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	waitTerminal(j)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"crowdram/internal/metrics"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST   /v1/jobs             submit (Spec body) → 202 Status
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        status + result
+//	GET    /v1/jobs/{id}/events SSE stream: replay, then follow to terminal
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             200 ok / 503 draining
+//	GET    /metrics             queue, workers, engine cache, HTTP latency
+//
+// Validation failures are 400, unknown IDs 404, and a full queue or a
+// draining service 503 with Retry-After — the admission-control contract.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.http.instrument(pattern, h))
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleGet)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var spec Spec
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"invalid job spec: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	case errors.Is(err, ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job's event log as Server-Sent Events: every
+// record already logged replays first, then the stream follows live until
+// the job reaches a terminal state (whose event is the last delivered) or
+// the client disconnects.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{"streaming unsupported"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	next := 0
+	for {
+		evs, changed, terminal := j.EventsSince(next)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+		}
+		if len(evs) > 0 {
+			next += len(evs)
+			fl.Flush()
+		}
+		if terminal {
+			return // the terminal state event has been delivered
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics is the /metrics document: admission state, worker occupancy, the
+// engine cache, per-state job counts, and per-endpoint latency.
+type Metrics struct {
+	Queue struct {
+		Depth    int  `json:"depth"`
+		Capacity int  `json:"capacity"`
+		Draining bool `json:"draining"`
+	} `json:"queue"`
+	Workers struct {
+		Total int `json:"total"`
+		Busy  int `json:"busy"`
+	} `json:"workers"`
+	Engine struct {
+		Queued     int     `json:"queued"`
+		Inflight   int     `json:"inflight"`
+		Entries    int     `json:"entries"`
+		Executions int64   `json:"executions"`
+		CacheHits  int64   `json:"cache_hits"`
+		Failures   int64   `json:"failures"`
+		HitRatio   float64 `json:"hit_ratio"`
+	} `json:"engine"`
+	EngineWorkers int              `json:"engine_workers"`
+	Jobs          map[State]int    `json:"jobs"`
+	HTTP          map[string]Stats `json:"http"`
+}
+
+// Metrics assembles the current metrics document.
+func (s *Service) Metrics() Metrics {
+	var m Metrics
+	m.Queue.Depth = s.queue.Len()
+	m.Queue.Capacity = s.cfg.QueueDepth
+	m.Queue.Draining = s.Draining()
+	m.Workers.Total = s.cfg.Workers
+	m.Workers.Busy = int(s.busy.Load())
+	es := s.pool.Snapshot()
+	m.Engine.Queued = es.Queued
+	m.Engine.Inflight = es.Inflight
+	m.Engine.Entries = es.Entries
+	m.Engine.Executions = es.Executions
+	m.Engine.CacheHits = es.CacheHits
+	m.Engine.Failures = es.Failures
+	m.Engine.HitRatio = es.HitRatio()
+	m.EngineWorkers = s.pool.Workers()
+	if m.EngineWorkers == 0 {
+		m.EngineWorkers = runtime.GOMAXPROCS(0)
+	}
+	m.Jobs = make(map[State]int)
+	for _, j := range s.Jobs() {
+		m.Jobs[j.State()]++
+	}
+	m.HTTP = s.http.snapshot()
+	return m
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Stats summarizes one endpoint's request latency.
+type Stats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// httpStats tracks per-endpoint latency on the shared log-bucket histogram
+// from internal/metrics — the same primitive the simulator uses for read
+// latencies.
+type httpStats struct {
+	mu     sync.Mutex
+	routes map[string]*metrics.Histogram
+}
+
+func newHTTPStats() *httpStats {
+	return &httpStats{routes: make(map[string]*metrics.Histogram)}
+}
+
+// instrument wraps a handler, recording wall-clock milliseconds per request
+// under the route pattern. SSE streams record their full stream lifetime.
+func (h *httpStats) instrument(pattern string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next(w, r)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		h.mu.Lock()
+		hist, ok := h.routes[pattern]
+		if !ok {
+			hist = metrics.NewHistogram()
+			h.routes[pattern] = hist
+		}
+		hist.Add(ms)
+		h.mu.Unlock()
+	})
+}
+
+func (h *httpStats) snapshot() map[string]Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]Stats, len(h.routes))
+	for route, hist := range h.routes {
+		out[route] = Stats{
+			Count:  hist.Count(),
+			MeanMS: hist.Mean(),
+			P50MS:  hist.Percentile(50),
+			P99MS:  hist.Percentile(99),
+			MaxMS:  hist.Max(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func qjob(priority int, seq int64) *Job {
+	return newJob("t", Spec{Priority: priority}, seq)
+}
+
+func TestQueuePriorityFIFO(t *testing.T) {
+	q := newJobQueue(8)
+	a, b, c, d := qjob(0, 1), qjob(5, 2), qjob(5, 3), qjob(0, 4)
+	for _, j := range []*Job{a, b, c, d} {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []*Job{b, c, a, d} // priority desc, FIFO within
+	for i, wj := range want {
+		j, ok := q.Pop()
+		if !ok || j != wj {
+			t.Fatalf("pop %d: got seq %d, want seq %d", i, j.seq, wj.seq)
+		}
+	}
+}
+
+func TestQueueAdmissionAndClose(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.Push(qjob(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qjob(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qjob(0, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity push = %v, want ErrQueueFull", err)
+	}
+	q.Close()
+	if err := q.Push(qjob(0, 4)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after close = %v, want ErrDraining", err)
+	}
+	// Close drains what was admitted before reporting empty.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("first queued job must still pop after close")
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("second queued job must still pop after close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drained closed queue must report not-ok")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, ok := q.Pop(); ok {
+			t.Error("pop on closed empty queue must report not-ok")
+		}
+	}()
+	q.Close()
+	wg.Wait()
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newJobQueue(8)
+	a, b, c := qjob(0, 1), qjob(0, 2), qjob(0, 3)
+	for _, j := range []*Job{a, b, c} {
+		q.Push(j)
+	}
+	if !q.Remove(b) {
+		t.Fatal("remove of queued job must succeed")
+	}
+	if q.Remove(b) {
+		t.Fatal("double remove must fail")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	j1, _ := q.Pop()
+	j2, _ := q.Pop()
+	if j1 != a || j2 != c {
+		t.Errorf("pop order after remove = %d,%d want 1,3", j1.seq, j2.seq)
+	}
+	if q.Remove(a) {
+		t.Error("remove of popped job must fail")
+	}
+}

@@ -1,0 +1,351 @@
+// Package service turns the CROW reproduction into simulation-as-a-service:
+// a job subsystem with a bounded priority queue, admission control, a worker
+// pool delegating to the memoizing run engine (internal/engine) so
+// singleflight memoization becomes a cross-request result cache, per-job
+// cancellation and deadlines, streaming progress events, and graceful
+// drain. cmd/crowserve exposes it over HTTP/JSON (see Handler).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdram/crow"
+	"crowdram/internal/engine"
+	"crowdram/internal/exp"
+)
+
+// ErrBadRequest wraps submission-validation failures; the HTTP layer maps
+// it to 400.
+var ErrBadRequest = errors.New("service: bad request")
+
+// ErrNotFound marks lookups of unknown job IDs; the HTTP layer maps it
+// to 404.
+var ErrNotFound = errors.New("service: no such job")
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Scale is the simulation scale every job runs at (default
+	// exp.DefaultScale). One service has one scale, so identical
+	// submissions share cache entries.
+	Scale exp.Scale
+	// Workers is the number of jobs serviced concurrently (default 2).
+	Workers int
+	// EngineWorkers bounds concurrent simulations inside the shared
+	// engine pool (default GOMAXPROCS). One job may fan out into many
+	// runs; this is the simulation-level bound.
+	EngineWorkers int
+	// QueueDepth bounds admitted-but-not-started jobs; a submission
+	// beyond it is rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// RunTimeout bounds each simulation (engine-level; 0 = none).
+	RunTimeout time.Duration
+	// JobTimeout is the default per-job deadline (0 = none); a Spec's
+	// TimeoutMS overrides it per job.
+	JobTimeout time.Duration
+	// Verify attaches the correctness oracle to every run.
+	Verify bool
+	// Run substitutes the simulation executor (default crow.RunContext);
+	// tests inject context-aware hooks here.
+	Run func(context.Context, crow.Options) (crow.Report, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale.Insts == 0 {
+		c.Scale = exp.DefaultScale()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Run == nil {
+		c.Run = crow.RunContext
+	}
+	return c
+}
+
+// Service owns the job table, the queue, the worker pool, and the shared
+// engine pool. Create with New, serve via Handler, stop via Drain.
+type Service struct {
+	cfg   Config
+	pool  *engine.Pool[crow.Report]
+	queue *jobQueue
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int64
+
+	busy     atomic.Int64 // jobs being serviced right now
+	draining atomic.Bool
+
+	baseCtx    context.Context
+	forceStop  context.CancelFunc
+	workerDone sync.WaitGroup
+
+	http *httpStats
+}
+
+// New builds the service and starts its workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	var popts []engine.Option[crow.Report]
+	if cfg.RunTimeout > 0 {
+		popts = append(popts, engine.WithTimeout[crow.Report](cfg.RunTimeout))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:       cfg,
+		pool:      engine.New(cfg.EngineWorkers, popts...),
+		queue:     newJobQueue(cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		baseCtx:   ctx,
+		forceStop: cancel,
+		http:      newHTTPStats(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerDone.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and admits a job. Validation failures wrap
+// ErrBadRequest; admission failures are ErrQueueFull or ErrDraining.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	hasExp, hasOpts := spec.Experiment != "", len(spec.Options) > 0
+	if hasExp == hasOpts {
+		return nil, fmt.Errorf("%w: exactly one of \"experiment\" and \"options\" must be set", ErrBadRequest)
+	}
+	var opts crow.Options
+	var exps []exp.Experiment
+	if hasOpts {
+		var err error
+		opts, err = crow.DecodeOptions(spec.Options)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	} else {
+		var err error
+		exps, err = exp.Select([]string{spec.Experiment})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if spec.TimeoutMS < 0 {
+		return nil, fmt.Errorf("%w: timeout_ms must be non-negative", ErrBadRequest)
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(id, spec, s.seq)
+	j.opts, j.exps = opts, exps
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.queue.Push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (s *Service) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns every job, newest submission first.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq > out[b].seq })
+	return out
+}
+
+// Cancel requests termination of a job: a queued job goes terminal
+// immediately; a running job's context is cancelled and the worker marks it
+// cancelled promptly. Cancelling a terminal job is a no-op. The memo cache
+// is never poisoned: the engine evicts the interrupted run's entry, so a
+// later identical submission re-executes.
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.cancelRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if s.queue.Remove(j) {
+		j.setState(StateCancelled, "cancelled while queued")
+		return j, nil
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return j, nil
+}
+
+// Drain stops admission (new submissions fail with ErrDraining), lets
+// already-admitted jobs finish, and returns when every worker has exited —
+// or cancels the stragglers when ctx expires, then waits for the workers to
+// observe that. The crowserve SIGTERM path.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.workerDone.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceStop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// EngineSnapshot exposes the shared pool's gauges and counters.
+func (s *Service) EngineSnapshot() engine.Snapshot { return s.pool.Snapshot() }
+
+// worker services jobs until the queue closes and drains.
+func (s *Service) worker() {
+	defer s.workerDone.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.busy.Add(1)
+		s.runJob(j)
+		s.busy.Add(-1)
+	}
+}
+
+// runJob executes one admitted job end to end.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled between Pop and here
+		j.mu.Unlock()
+		return
+	}
+	timeout := s.cfg.JobTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	j.cancel = cancel
+	alreadyCancelled := j.cancelRequested
+	j.mu.Unlock()
+	defer cancel()
+	if alreadyCancelled {
+		j.setState(StateCancelled, "cancelled while queued")
+		return
+	}
+
+	ropts := []exp.RunnerOption{
+		exp.UsePool(s.pool),
+		exp.WithContext(ctx),
+		exp.RunWith(s.cfg.Run),
+	}
+	if s.cfg.Verify {
+		ropts = append(ropts, exp.Verify())
+	}
+	runner := exp.NewRunner(s.cfg.Scale, ropts...)
+
+	// The job's plan keys filter the shared pool's event stream: the job
+	// sees progress on its runs even when another job executes them.
+	var plan []crow.Options
+	if len(j.exps) > 0 {
+		plan = exp.PlanAll(runner, j.exps)
+	} else {
+		plan = []crow.Options{j.opts}
+	}
+	keys := make(map[string]bool, len(plan))
+	for _, o := range plan {
+		keys[runner.KeyOf(o)] = true
+	}
+	remove := s.pool.AddObserver(func(e engine.Event) {
+		if keys[e.Key] {
+			j.recordRun(e)
+		}
+	})
+	defer remove()
+
+	j.setState(StateRunning, "")
+
+	result, err := s.execute(runner, j, plan)
+	if err != nil {
+		j.mu.Lock()
+		wasCancelled := j.cancelRequested
+		j.mu.Unlock()
+		switch {
+		case wasCancelled && errors.Is(err, context.Canceled):
+			j.setState(StateCancelled, "cancelled")
+		case errors.Is(err, context.DeadlineExceeded):
+			j.setState(StateFailed, "deadline exceeded: "+err.Error())
+		default:
+			j.setState(StateFailed, err.Error())
+		}
+		return
+	}
+	j.mu.Lock()
+	j.result = result
+	j.mu.Unlock()
+	j.setState(StateDone, "")
+}
+
+// execute runs the job's plan and assembles its result.
+func (s *Service) execute(runner *exp.Runner, j *Job, plan []crow.Options) (*Result, error) {
+	if len(j.exps) == 0 {
+		rep, err := runner.Run(j.opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Report: &rep}, nil
+	}
+	if err := runner.Execute(plan); err != nil {
+		return nil, err
+	}
+	tables := make([]exp.Table, 0, len(j.exps))
+	for _, e := range j.exps {
+		t, err := e.Table(runner)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Tables: tables}, nil
+}
