@@ -20,6 +20,7 @@ import (
 
 	"crowdram/internal/engine"
 	"crowdram/internal/exp"
+	"crowdram/internal/obs"
 	"crowdram/internal/trace"
 )
 
@@ -42,8 +43,22 @@ func run() error {
 		timeout = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
 		verify  = flag.Bool("verify", false, "run the correctness oracle alongside every simulation; violations fail the run")
 		verbose = flag.Bool("v", false, "print progress per simulation run")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the sweep")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile at exit")
+		execTrace  = flag.String("exectrace", "", "write a Go runtime execution trace")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "crowbench:", perr)
+		}
+	}()
 
 	scale := exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed}
 	if *apps != "" {

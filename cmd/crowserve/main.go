@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,19 +52,36 @@ func run() error {
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; overridable per job)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound for inflight jobs")
 		verify       = flag.Bool("verify", false, "run the correctness oracle alongside every simulation")
+		telemetry    = flag.Int64("telemetry-interval", 0, "stream per-bank interval telemetry every N DRAM cycles on job SSE streams (0 = off)")
+		enablePprof  = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Scale:         exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed},
-		Workers:       *workers,
-		EngineWorkers: *jobs,
-		QueueDepth:    *queueDepth,
-		RunTimeout:    *runTimeout,
-		JobTimeout:    *jobTimeout,
-		Verify:        *verify,
+		Scale:             exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed},
+		Workers:           *workers,
+		EngineWorkers:     *jobs,
+		QueueDepth:        *queueDepth,
+		RunTimeout:        *runTimeout,
+		JobTimeout:        *jobTimeout,
+		Verify:            *verify,
+		TelemetryInterval: *telemetry,
 	})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *enablePprof {
+		// Mount the service API next to the runtime profilers on one mux:
+		// `go tool pprof http://host/debug/pprof/profile` works against a
+		// live server without a side port.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -5,14 +5,17 @@
 //	crowsim -mech crow-cache -workloads mcf
 //	crowsim -mech crow-cache+ref -workloads mcf,lbm,gcc,povray -density 64
 //	crowsim -mech tl-dram -workloads soplex -compare -j 4
+//	crowsim -mech crow-cache -workloads mcf -verify -trace-out run.json
 //	crowsim -list
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,41 +24,81 @@ import (
 	"crowdram/crow"
 	"crowdram/internal/engine"
 	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "crowsim:", err)
+		os.Exit(1)
+	}
+}
+
+// errVerifyFailed marks an oracle-violation exit; the report has already
+// been printed when it is returned.
+var errVerifyFailed = errors.New("verification failed")
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("crowsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mech     = flag.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
-		loads    = flag.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
-		traces   = flag.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
-		copyRows = flag.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
-		density  = flag.Int("density", 8, "DRAM chip density in Gbit: 8, 16, 32, 64")
-		llcMiB   = flag.Int("llc", 8, "LLC capacity in MiB")
-		insts    = flag.Int64("insts", 500_000, "measured instructions per core")
-		warmup   = flag.Int64("warmup", 0, "warmup instructions per core (default insts/10)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		prefetch = flag.Bool("prefetch", false, "enable the stride prefetcher")
-		tlNear   = flag.Int("tl-near", 8, "TL-DRAM near-segment rows")
-		salpSub  = flag.Int("salp", 128, "SALP subarrays per bank")
-		salpOpen = flag.Bool("salp-open", false, "SALP open-page policy")
-		hammerT  = flag.Int("hammer-threshold", 2048, "RowHammer detection threshold")
-		share    = flag.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
-		perBank  = flag.Bool("refpb", false, "use LPDDR4 per-bank refresh")
-		postpone = flag.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
-		verify   = flag.Bool("verify", false, "run the correctness oracle alongside the simulation and report violations")
-		compare  = flag.Bool("compare", false, "also run the baseline and report speedup/energy savings")
-		jobs     = flag.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
-		verbose  = flag.Bool("v", false, "print progress per simulation run")
-		asJSON   = flag.Bool("json", false, "emit the report as JSON")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		mech     = fs.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
+		loads    = fs.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
+		traces   = fs.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
+		copyRows = fs.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
+		density  = fs.Int("density", 8, "DRAM chip density in Gbit: 8, 16, 32, 64")
+		llcMiB   = fs.Int("llc", 8, "LLC capacity in MiB")
+		insts    = fs.Int64("insts", 500_000, "measured instructions per core")
+		warmup   = fs.Int64("warmup", 0, "warmup instructions per core (default insts/10)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		prefetch = fs.Bool("prefetch", false, "enable the stride prefetcher")
+		tlNear   = fs.Int("tl-near", 8, "TL-DRAM near-segment rows")
+		salpSub  = fs.Int("salp", 128, "SALP subarrays per bank")
+		salpOpen = fs.Bool("salp-open", false, "SALP open-page policy")
+		hammerT  = fs.Int("hammer-threshold", 2048, "RowHammer detection threshold")
+		share    = fs.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
+		perBank  = fs.Bool("refpb", false, "use LPDDR4 per-bank refresh")
+		postpone = fs.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
+		verify   = fs.Bool("verify", false, "run the correctness oracle alongside the simulation and report violations")
+		compare  = fs.Bool("compare", false, "also run the baseline and report speedup/energy savings")
+		jobs     = fs.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		verbose  = fs.Bool("v", false, "print progress per simulation run")
+		asJSON   = fs.Bool("json", false, "emit the report as JSON")
+		list     = fs.Bool("list", false, "list available workloads and exit")
+
+		traceOut   = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run (open at ui.perfetto.dev)")
+		traceCap   = fs.Int("trace-cap", 1_000_000, "event-tracer ring capacity; oldest events drop beyond it")
+		cpuProfile = fs.String("cpuprofile", "", "write a Go CPU profile of the simulator process")
+		memProfile = fs.String("memprofile", "", "write a Go heap profile at exit")
+		execTrace  = fs.String("exectrace", "", "write a Go runtime execution trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println(strings.Join(crow.Workloads(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(crow.Workloads(), "\n"))
+		return nil
 	}
+	if *traceOut != "" && *compare {
+		return errors.New("-trace-out traces a single run; it cannot be combined with -compare")
+	}
+	if *traceOut != "" && *traceCap <= 0 {
+		return errors.New("-trace-cap must be positive")
+	}
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opts := crow.Options{
 		Mechanism:       crow.Mechanism(*mech),
@@ -78,24 +121,27 @@ func main() {
 		Verify:          *verify,
 	}
 
-	// Ctrl-C cancels in-flight simulations.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	if *compare {
-		c, err := compareParallel(ctx, opts, *jobs, *timeout, *verbose)
+		c, err := compareParallel(ctx, opts, *jobs, *timeout, *verbose, stderr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *asJSON {
-			emitJSON(c)
-			return
+			return emitJSON(stdout, c)
 		}
-		printReport(c.Mech)
-		fmt.Printf("\nvs baseline:\n")
-		fmt.Printf("  weighted speedup:   %+.1f%%\n", 100*c.Speedup)
-		fmt.Printf("  DRAM energy ratio:  %.3f (%+.1f%%)\n", c.EnergyRatio, 100*(c.EnergyRatio-1))
-		return
+		printReport(stdout, c.Mech)
+		fmt.Fprintf(stdout, "\nvs baseline:\n")
+		fmt.Fprintf(stdout, "  weighted speedup:   %+.1f%%\n", 100*c.Speedup)
+		fmt.Fprintf(stdout, "  DRAM energy ratio:  %.3f (%+.1f%%)\n", c.EnergyRatio, 100*(c.EnergyRatio-1))
+		return nil
+	}
+
+	// The tracer rides the run context, not Options (whose key memoizes
+	// runs): a traced simulation is the same simulation.
+	var bundle *obs.Observers
+	if *traceOut != "" {
+		bundle = &obs.Observers{TraceCapacity: *traceCap}
+		ctx = obs.With(ctx, bundle)
 	}
 
 	runCtx, cancel := ctx, context.CancelFunc(func() {})
@@ -105,43 +151,74 @@ func main() {
 	defer cancel()
 	rep, err := crow.RunContext(runCtx, opts)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if bundle != nil {
+		if err := writeTrace(*traceOut, bundle.Tracer()); err != nil {
+			return err
+		}
+		if t := bundle.Tracer(); t != nil {
+			fmt.Fprintf(stderr, "crowsim: wrote %s (%d events, %d dropped)\n",
+				*traceOut, t.Len(), t.Dropped())
+		}
 	}
 	if *asJSON {
-		emitJSON(rep)
-		if *verify && rep.Violations > 0 {
-			os.Exit(1)
+		if err := emitJSON(stdout, rep); err != nil {
+			return err
 		}
-		return
+		if *verify && rep.Violations > 0 {
+			return errVerifyFailed
+		}
+		return nil
 	}
-	printReport(rep)
+	printReport(stdout, rep)
 	if *verify {
 		if rep.Violations == 0 {
-			fmt.Println("verification: ok (0 oracle violations)")
+			fmt.Fprintln(stdout, "verification: ok (0 oracle violations)")
 		} else {
-			fmt.Printf("verification: FAILED, %d violations\n", rep.Violations)
+			fmt.Fprintf(stdout, "verification: FAILED, %d violations\n", rep.Violations)
 			counts := metrics.Counters(rep.ViolationCounts)
 			for _, class := range counts.Names() {
-				fmt.Printf("  %s: %d\n", class, counts[class])
+				fmt.Fprintf(stdout, "  %s: %d\n", class, counts[class])
 			}
 			for _, s := range rep.ViolationSamples {
-				fmt.Printf("  sample: %s\n", s)
+				fmt.Fprintf(stdout, "  sample: %s\n", s)
 			}
-			os.Exit(1)
+			return errVerifyFailed
 		}
 	}
+	return nil
+}
+
+// writeTrace exports the tracer's ring as Chrome trace-event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	if t == nil {
+		return errors.New("trace-out: no tracer was attached (internal error)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return nil
 }
 
 // compareParallel runs the mechanism, baseline, and (for multi-core options)
 // alone-run simulations behind crow.Compare concurrently on an engine pool,
 // then assembles the comparison from the memoized results.
-func compareParallel(ctx context.Context, opts crow.Options, jobs int, timeout time.Duration, verbose bool) (crow.Comparison, error) {
+func compareParallel(ctx context.Context, opts crow.Options, jobs int, timeout time.Duration, verbose bool, stderr io.Writer) (crow.Comparison, error) {
 	popts := []engine.Option[crow.Report]{}
 	if timeout > 0 {
 		popts = append(popts, engine.WithTimeout[crow.Report](timeout))
 	}
 	if verbose {
-		popts = append(popts, engine.WithObserver[crow.Report](progress))
+		popts = append(popts, engine.WithObserver[crow.Report](progress(stderr)))
 	}
 	pool := engine.New(jobs, popts...)
 
@@ -173,53 +250,53 @@ func compareParallel(ctx context.Context, opts crow.Options, jobs int, timeout t
 }
 
 // progress renders engine events as one stderr line each.
-func progress(e engine.Event) {
-	switch e.Type {
-	case engine.EventStarted:
-		fmt.Fprintf(os.Stderr, "  run   %s\n", e.Label)
-	case engine.EventFinished:
-		status := fmt.Sprintf("in %v", e.Duration.Round(time.Millisecond))
-		if e.Err != nil {
-			status = "FAILED: " + e.Err.Error()
+func progress(stderr io.Writer) engine.Observer {
+	return func(e engine.Event) {
+		switch e.Type {
+		case engine.EventStarted:
+			fmt.Fprintf(stderr, "  run   %s\n", e.Label)
+		case engine.EventFinished:
+			status := fmt.Sprintf("in %v", e.Duration.Round(time.Millisecond))
+			if e.Err != nil {
+				status = "FAILED: " + e.Err.Error()
+			}
+			fmt.Fprintf(stderr, "  done  %s %s\n", e.Label, status)
 		}
-		fmt.Fprintf(os.Stderr, "  done  %s %s\n", e.Label, status)
 	}
 }
 
-func printReport(r crow.Report) {
-	fmt.Printf("mechanism: %s\n", r.Mechanism)
+func printReport(w io.Writer, r crow.Report) {
+	fmt.Fprintf(w, "mechanism: %s\n", r.Mechanism)
 	for i := range r.IPC {
-		fmt.Printf("  core %d: IPC %.3f, LLC MPKI %.2f\n", i, r.IPC[i], r.MPKI[i])
+		fmt.Fprintf(w, "  core %d: IPC %.3f, LLC MPKI %.2f\n", i, r.IPC[i], r.MPKI[i])
 	}
-	fmt.Printf("DRAM commands: ACT %d, ACT-t %d, ACT-c %d, RD %d, WR %d, REF %d\n",
+	fmt.Fprintf(w, "DRAM commands: ACT %d, ACT-t %d, ACT-c %d, RD %d, WR %d, REF %d\n",
 		r.ACT, r.ACTt, r.ACTc, r.RD, r.WR, r.REF)
-	fmt.Printf("row-buffer hit rate: %.1f%%, read latency avg %.1f ns (p50 <= %.0f, p99 <= %.0f)\n",
+	fmt.Fprintf(w, "row-buffer hit rate: %.1f%%, read latency avg %.1f ns (p50 <= %.0f, p99 <= %.0f)\n",
 		100*r.RowHitRate, r.AvgReadLatencyNs, r.ReadLatencyP50Ns, r.ReadLatencyP99Ns)
 	if r.Hits+r.Misses > 0 {
-		fmt.Printf("CROW-table: hit rate %.1f%% (%d hits, %d misses), %d copies, %d evictions, %d restores\n",
+		fmt.Fprintf(w, "CROW-table: hit rate %.1f%% (%d hits, %d misses), %d copies, %d evictions, %d restores\n",
 			100*r.CROWTableHitRate, r.Hits, r.Misses, r.Copies, r.Evictions, r.RestoreOps)
 	}
 	if r.RefRemaps > 0 {
-		fmt.Printf("CROW-ref: %d activations redirected to copy rows\n", r.RefRemaps)
+		fmt.Fprintf(w, "CROW-ref: %d activations redirected to copy rows\n", r.RefRemaps)
 	}
 	if r.HammerRemaps > 0 {
-		fmt.Printf("RowHammer: %d victim rows remapped\n", r.HammerRemaps)
+		fmt.Fprintf(w, "RowHammer: %d victim rows remapped\n", r.HammerRemaps)
 	}
 	e := r.EnergyNJ
-	fmt.Printf("DRAM energy: %.0f nJ (act/pre %.0f, rd %.0f, wr %.0f, refresh %.0f, background %.0f)\n",
+	fmt.Fprintf(w, "DRAM energy: %.0f nJ (act/pre %.0f, rd %.0f, wr %.0f, refresh %.0f, background %.0f)\n",
 		e.Total(), e.ActPre, e.Read, e.Write, e.Refresh, e.Background)
 	if r.ChipAreaOverhead > 0 {
-		fmt.Printf("chip area overhead: %.2f%%, capacity overhead: %.2f%%\n",
+		fmt.Fprintf(w, "chip area overhead: %.2f%%, capacity overhead: %.2f%%\n",
 			100*r.ChipAreaOverhead, 100*r.CapacityOverhead)
 	}
 }
 
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fatal(err)
-	}
+	return enc.Encode(v)
 }
 
 func splitNonEmpty(s string) []string {
@@ -227,9 +304,4 @@ func splitNonEmpty(s string) []string {
 		return nil
 	}
 	return strings.Split(s, ",")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "crowsim:", err)
-	os.Exit(1)
 }

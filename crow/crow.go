@@ -27,6 +27,7 @@ import (
 	"crowdram/internal/core"
 	"crowdram/internal/dram"
 	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 	"crowdram/internal/retention"
 	"crowdram/internal/salp"
 	"crowdram/internal/sim"
@@ -301,6 +302,10 @@ func RunContext(ctx context.Context, o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	// Observability rides the context, not Options: Options.Key() is the
+	// engine's memoization key, and a traced run is the same simulation as
+	// an untraced one.
+	cfg.Obs = obs.From(ctx)
 	res, err := sim.New(cfg, mech, gens).RunContext(ctx)
 	if err != nil {
 		return Report{}, fmt.Errorf("crow: %s on %v: %w", o.Mechanism, o.Workloads, err)

@@ -26,6 +26,40 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// TableEventKind classifies one CROW-table event for observers.
+type TableEventKind uint8
+
+// CROW-table event kinds, mirroring the Stats counters one-to-one.
+const (
+	TableHit TableEventKind = iota
+	TableMiss
+	TableCopy
+	TableEviction
+	TableRestore
+	TableRefRemap
+	TableHamRemap
+)
+
+var tableEventNames = [...]string{
+	"hit", "miss", "copy", "eviction", "restore", "ref-remap", "ham-remap",
+}
+
+func (k TableEventKind) String() string { return tableEventNames[k] }
+
+// TableEvent is one CROW-table state change, cycle-attributed.
+type TableEvent struct {
+	Kind  TableEventKind
+	Cycle int64
+	Addr  dram.Addr
+	Way   int // copy-row way involved, -1 when none applies
+}
+
+// TableObserver receives CROW-table events in issue order. Implementations
+// must be cheap: they run on the activation path.
+type TableObserver interface {
+	OnTableEvent(e TableEvent)
+}
+
 // CROW is the combined CROW-substrate mechanism. Enabling Cache gives
 // CROW-cache (Section 4.1); attaching a weak-row profile gives CROW-ref
 // (Section 4.2); setting HammerThreshold enables the RowHammer mitigation
@@ -51,6 +85,9 @@ type CROW struct {
 	FullRestore bool
 
 	Stats Stats
+
+	// Obs, when non-nil, receives a TableEvent for every Stats increment.
+	Obs TableObserver
 
 	base dram.ActTimings
 
@@ -265,6 +302,12 @@ func (c *CROW) PlanActivate(a dram.Addr, cycle int64) ActDecision {
 	return ActDecision{Kind: dram.ActCopy, CopyRow: w, Timing: copyPlan}
 }
 
+// tev reports one table event to the attached observer. Call sites guard
+// with `c.Obs != nil` so the disabled path costs one comparison.
+func (c *CROW) tev(k TableEventKind, a dram.Addr, way int, cycle int64) {
+	c.Obs.OnTableEvent(TableEvent{Kind: k, Cycle: cycle, Addr: a, Way: way})
+}
+
 // OnActivate implements Mechanism.
 func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 	set := c.Table.Set(a)
@@ -272,10 +315,16 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 	case dram.ActTwo:
 		if d.RestoreFirst {
 			c.Stats.RestoreOps++
+			if c.Obs != nil {
+				c.tev(TableRestore, a, d.RestoreCopyRow, cycle)
+			}
 			set[d.RestoreCopyRow].lastUse = cycle
 			break
 		}
 		c.Stats.Hits++
+		if c.Obs != nil {
+			c.tev(TableHit, a, d.CopyRow, cycle)
+		}
 		set[d.CopyRow].lastUse = cycle
 	case dram.ActCopy:
 		if e := &set[d.CopyRow]; e.Allocated && e.Kind != EntryCache &&
@@ -284,13 +333,23 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 			// entry stays a CROW-ref/RowHammer remap. CopyPending clears
 			// at precharge, once restoration of the pair completes.
 			c.Stats.Copies++
+			if c.Obs != nil {
+				c.tev(TableCopy, a, d.CopyRow, cycle)
+			}
 			e.lastUse = cycle
 			break
 		}
 		c.Stats.Misses++
 		c.Stats.Copies++
+		if c.Obs != nil {
+			c.tev(TableMiss, a, d.CopyRow, cycle)
+			c.tev(TableCopy, a, d.CopyRow, cycle)
+		}
 		if set[d.CopyRow].Allocated {
 			c.Stats.Evictions++
+			if c.Obs != nil {
+				c.tev(TableEviction, a, d.CopyRow, cycle)
+			}
 		}
 		set[d.CopyRow] = Entry{
 			Allocated:  true,
@@ -301,13 +360,19 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 		}
 	case dram.ActCopyRow:
 		c.Stats.RefRemaps++
+		if c.Obs != nil {
+			c.tev(TableRefRemap, a, d.CopyRow, cycle)
+		}
 	case dram.ActSingle:
 		if c.Cache && !d.RestoreFirst {
 			c.Stats.Misses++
+			if c.Obs != nil {
+				c.tev(TableMiss, a, -1, cycle)
+			}
 		}
 	}
 	if c.HammerThreshold > 0 && d.Kind != dram.ActCopyRow {
-		c.countHammer(a)
+		c.countHammer(a, cycle)
 	}
 }
 
@@ -436,7 +501,7 @@ func (c *CROW) HasPendingOps(channel int) bool {
 
 // countHammer tracks per-row activation counts within a refresh window and
 // remaps the neighbours of a hammered row once it crosses the threshold.
-func (c *CROW) countHammer(a dram.Addr) {
+func (c *CROW) countHammer(a dram.Addr, cycle int64) {
 	g := c.Table.Geo
 	key := int64(a.Rank)<<40 | int64(a.Bank)<<32 | int64(a.Row)
 	m := c.hammerCounts[a.Channel]
@@ -466,6 +531,9 @@ func (c *CROW) countHammer(a dram.Addr) {
 			}
 			set[w].Kind = EntryHammer
 			c.Stats.HamRemaps++
+			if c.Obs != nil {
+				c.tev(TableHamRemap, victim, w, cycle)
+			}
 			continue
 		}
 		w := FreeWay(set)
@@ -486,5 +554,8 @@ func (c *CROW) countHammer(a dram.Addr) {
 			Addr: victim, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
 		})
 		c.Stats.HamRemaps++
+		if c.Obs != nil {
+			c.tev(TableHamRemap, victim, w, cycle)
+		}
 	}
 }

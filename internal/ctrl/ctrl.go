@@ -95,6 +95,57 @@ func (s *Stats) AvgReadLatencyNs() float64 {
 	return float64(s.ReadLatencySum) / float64(s.ReadsServed) * dram.Cycle
 }
 
+// SchedKind classifies one scheduler decision for observers.
+type SchedKind uint8
+
+// Scheduler decision kinds.
+const (
+	// SchedRowHit is a column command served from an open row.
+	SchedRowHit SchedKind = iota
+	// SchedRowMiss is an activation performed for a request.
+	SchedRowMiss
+	// SchedRowConflict is a precharge forced by a conflicting request (or
+	// by the FR-FCFS hit cap recycling the row).
+	SchedRowConflict
+	// SchedForward is a read served from the write queue.
+	SchedForward
+	// SchedRefresh is a REF or REFpb issue.
+	SchedRefresh
+	// SchedTimeoutClose is a timeout-policy precharge of an idle row.
+	SchedTimeoutClose
+	// SchedMechCopy is a mechanism-initiated ACT-c issue.
+	SchedMechCopy
+	// SchedScrub is an idle-cycle full-restore activation.
+	SchedScrub
+	// SchedDrainEnter and SchedDrainExit bracket write-drain mode.
+	SchedDrainEnter
+	SchedDrainExit
+)
+
+var schedNames = [...]string{
+	"row-hit", "row-miss", "row-conflict", "forward", "refresh",
+	"timeout-close", "mech-copy", "scrub", "drain-enter", "drain-exit",
+}
+
+func (k SchedKind) String() string { return schedNames[k] }
+
+// SchedEvent is one scheduler decision, with the queue depths at decision
+// time — what a tracer needs to attribute command-stream behaviour to
+// controller policy rather than device timing.
+type SchedEvent struct {
+	Kind   SchedKind
+	Cycle  int64
+	Addr   dram.Addr // zero-valued for drain transitions
+	ReadQ  int
+	WriteQ int
+}
+
+// SchedObserver receives every scheduler decision of one controller, in
+// decision order. Implementations must be cheap: they run on the tick path.
+type SchedObserver interface {
+	OnSched(e SchedEvent)
+}
+
 // event is a scheduled completion callback.
 type event struct {
 	at  int64
@@ -210,7 +261,20 @@ type Controller struct {
 	// cycles (arrival to data), in logarithmic buckets.
 	ReadLatency *metrics.Histogram
 
+	// Obs, when non-nil, receives every scheduler decision (row hits,
+	// conflicts, refreshes, drain transitions) for tracing and telemetry.
+	Obs SchedObserver
+
 	Stats Stats
+}
+
+// sched reports one scheduler decision to the attached observer. Call sites
+// guard with `c.Obs != nil` so the disabled path costs one comparison.
+func (c *Controller) sched(k SchedKind, a dram.Addr, now int64) {
+	c.Obs.OnSched(SchedEvent{
+		Kind: k, Cycle: now, Addr: a,
+		ReadQ: len(c.readQ), WriteQ: len(c.writeQ),
+	})
 }
 
 // New builds a controller over a fresh device channel.
@@ -286,6 +350,9 @@ func (c *Controller) EnqueueRead(r *Request, now int64) bool {
 		if w.Addr == r.Addr {
 			c.Stats.Forwarded++
 			c.Stats.ReadsServed++
+			if c.Obs != nil {
+				c.sched(SchedForward, r.Addr, now)
+			}
 			c.events.push(event{at: now + 1, req: r})
 			return true
 		}
@@ -373,7 +440,7 @@ func (c *Controller) Tick(now int64) {
 		return
 	}
 
-	c.updateDrainMode()
+	c.updateDrainMode(now)
 	q, other := &c.readQ, &c.writeQ
 	if c.draining || len(c.readQ) == 0 {
 		q, other = &c.writeQ, &c.readQ
@@ -392,14 +459,20 @@ func (c *Controller) Tick(now int64) {
 	c.serviceScrub(now)
 }
 
-func (c *Controller) updateDrainMode() {
+func (c *Controller) updateDrainMode(now int64) {
 	hi := c.Cfg.WriteQ * 3 / 4
 	lo := c.Cfg.WriteQ / 4
 	if !c.draining && (len(c.writeQ) >= hi || (len(c.readQ) == 0 && len(c.writeQ) > 0)) {
 		c.draining = true
+		if c.Obs != nil {
+			c.sched(SchedDrainEnter, dram.Addr{Channel: c.Cfg.ChannelID}, now)
+		}
 	}
 	if c.draining && (len(c.writeQ) <= lo || len(c.writeQ) == 0) && len(c.readQ) > 0 {
 		c.draining = false
+		if c.Obs != nil {
+			c.sched(SchedDrainExit, dram.Addr{Channel: c.Cfg.ChannelID}, now)
+		}
 	}
 }
 
@@ -446,6 +519,9 @@ func (c *Controller) serviceRefresh(now int64) bool {
 		if c.Dev.CanREF(r, now) {
 			c.Dev.REF(r, now)
 			c.Stats.Refreshes++
+			if c.Obs != nil {
+				c.sched(SchedRefresh, dram.Addr{Channel: c.Cfg.ChannelID, Rank: r}, now)
+			}
 			start := c.refRow[r]
 			c.Mech.OnRefreshRows(c.Cfg.ChannelID, r, -1, start, c.Cfg.T.RowsPerRef)
 			c.refRow[r] = (start + c.Cfg.T.RowsPerRef) % c.Cfg.Geo.RowsPerBank
@@ -477,6 +553,9 @@ func (c *Controller) refreshBank(r int, now int64) bool {
 	if c.Dev.CanREFpb(r, bank, now) {
 		c.Dev.REFpb(r, bank, now)
 		c.Stats.Refreshes++
+		if c.Obs != nil {
+			c.sched(SchedRefresh, dram.Addr{Channel: c.Cfg.ChannelID, Rank: r, Bank: bank}, now)
+		}
 		start := c.refRow[r]
 		c.Mech.OnRefreshRows(c.Cfg.ChannelID, r, bank, start, c.Cfg.T.RowsPerRef)
 		c.refBank[r] = (bank + 1) % c.Cfg.Geo.Banks
@@ -559,6 +638,9 @@ func (c *Controller) serviceMechCopy(now int64) bool {
 			pc.active = true
 			pc.actAt = now
 			c.Stats.MechCopies++
+			if c.Obs != nil {
+				c.sched(SchedMechCopy, a, now)
+			}
 			return true
 		}
 		return false
@@ -608,6 +690,9 @@ func (c *Controller) scheduleHits(q *[]*Request, now int64) bool {
 			if c.issueColumn(r, now) {
 				c.hitsServed[k]++
 				c.Stats.RowHits++
+				if c.Obs != nil {
+					c.sched(SchedRowHit, r.Addr, now)
+				}
 				*q = append((*q)[:i], (*q)[i+1:]...)
 				if r.Type == Write {
 					c.PutRequest(r) // reads recycle at completion-event pop
@@ -645,6 +730,9 @@ func (c *Controller) progress(r *Request, now int64) bool {
 		// conflict and recycles the row [81].
 		if c.hitsServed[c.key(a)] >= c.Cfg.Cap && c.Dev.CanPRE(a, now) {
 			c.Stats.RowConflicts++
+			if c.Obs != nil {
+				c.sched(SchedRowConflict, a, now)
+			}
 			c.preAndNotify(a, now)
 			return true
 		}
@@ -655,6 +743,9 @@ func (c *Controller) progress(r *Request, now int64) bool {
 		victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: open}
 		if c.Dev.CanPRE(victim, now) {
 			c.Stats.RowConflicts++
+			if c.Obs != nil {
+				c.sched(SchedRowConflict, victim, now)
+			}
 			c.preAndNotify(victim, now)
 			return true
 		}
@@ -666,6 +757,9 @@ func (c *Controller) progress(r *Request, now int64) bool {
 			victim := dram.Addr{Channel: a.Channel, Rank: a.Rank, Bank: a.Bank, Row: row}
 			if c.Dev.CanPRE(victim, now) {
 				c.Stats.RowConflicts++
+				if c.Obs != nil {
+					c.sched(SchedRowConflict, victim, now)
+				}
 				c.preAndNotify(victim, now)
 				return true
 			}
@@ -701,6 +795,9 @@ func (c *Controller) progress(r *Request, now int64) bool {
 		c.hitsServed[c.key(a)] = 0
 		c.bankLast[c.bankKey(a)] = now
 		c.Stats.RowMisses++
+		if c.Obs != nil {
+			c.sched(SchedRowMiss, a, now)
+		}
 		return true
 	}
 	return false
@@ -753,6 +850,9 @@ func (c *Controller) serviceTimeout(now int64) bool {
 		}
 		if c.Dev.CanPRE(a, now) {
 			c.Stats.TimeoutCloses++
+			if c.Obs != nil {
+				c.sched(SchedTimeoutClose, a, now)
+			}
 			c.preAndNotify(a, now)
 			return true
 		}
@@ -798,6 +898,9 @@ func (c *Controller) serviceScrub(now int64) {
 	c.hitsServed[c.key(op.Addr)] = 0
 	c.lastScrub = now
 	c.Stats.Scrubs++
+	if c.Obs != nil {
+		c.sched(SchedScrub, op.Addr, now)
+	}
 }
 
 func (c *Controller) hasRequestFor(a dram.Addr) bool {

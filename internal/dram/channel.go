@@ -92,7 +92,8 @@ type CmdEvent struct {
 // CommandObserver receives every command a channel issues, in issue order.
 // Unlike Checker (which re-validates intra-channel timing), an observer can
 // correlate commands across channels and against system-level state; the
-// correctness oracle in internal/oracle is one.
+// correctness oracle in internal/oracle and the event tracer in internal/obs
+// are two.
 type CommandObserver interface {
 	OnCommand(e CmdEvent)
 }
@@ -129,10 +130,31 @@ type Channel struct {
 	// command against the raw command history (used by tests).
 	Check *Checker
 
-	// Obs, when non-nil, receives every issued command.
-	Obs CommandObserver
+	// obs receives every issued command, fanned out in attach order, so
+	// independent consumers (the correctness oracle, the event tracer,
+	// interval telemetry) coexist on one channel. Empty for ordinary runs:
+	// the per-command cost is then a single nil check.
+	obs []CommandObserver
 
 	lastTick int64
+}
+
+// Attach subscribes an observer to every command the channel issues from now
+// on. Observers are invoked synchronously at issue time, in attach order.
+func (c *Channel) Attach(o CommandObserver) {
+	c.obs = append(c.obs, o)
+}
+
+// Observers returns the number of attached command observers.
+func (c *Channel) Observers() int { return len(c.obs) }
+
+// emit fans one command event out to every attached observer. Callers guard
+// with `c.obs != nil` so the disabled path costs one comparison and the
+// CmdEvent is never materialized.
+func (c *Channel) emit(e CmdEvent) {
+	for _, o := range c.obs {
+		o.OnCommand(e)
+	}
 }
 
 // NewChannel builds a closed, idle channel device.
@@ -390,8 +412,8 @@ func (c *Channel) ACT(a Addr, now int64, k ActKind, t ActTimings, copyRow int) {
 	if c.Check != nil {
 		c.Check.RecordPlanned(cmdACTBase+Command(k), a, now, t, copyRow)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: cmdACTBase + Command(k), Addr: a, Cycle: now, Kind: k, CopyRow: copyRow, Plan: t})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: cmdACTBase + Command(k), Addr: a, Cycle: now, Kind: k, CopyRow: copyRow, Plan: t})
 	}
 }
 
@@ -437,8 +459,8 @@ func (c *Channel) RD(a Addr, now int64) int64 {
 	if c.Check != nil {
 		c.Check.record(CmdRD, a, now)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: CmdRD, Addr: a, Cycle: now, CopyRow: -1})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: CmdRD, Addr: a, Cycle: now, CopyRow: -1})
 	}
 	return dataStart + int64(c.T.BL)
 }
@@ -485,8 +507,8 @@ func (c *Channel) WR(a Addr, now int64) {
 	if c.Check != nil {
 		c.Check.record(CmdWR, a, now)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: CmdWR, Addr: a, Cycle: now, CopyRow: -1})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: CmdWR, Addr: a, Cycle: now, CopyRow: -1})
 	}
 }
 
@@ -524,8 +546,8 @@ func (c *Channel) PRE(a Addr, now int64) (fullyRestored bool) {
 	if c.Check != nil {
 		c.Check.record(CmdPRE, a, now)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: CmdPRE, Addr: a, Cycle: now, CopyRow: -1, FullyRestored: full})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: CmdPRE, Addr: a, Cycle: now, CopyRow: -1, FullyRestored: full})
 	}
 	return full
 }
@@ -569,8 +591,8 @@ func (c *Channel) REFpb(rankID, bankID int, now int64) {
 	if c.Check != nil {
 		c.Check.record(CmdREFpb, Addr{Rank: rankID, Bank: bankID}, now)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: CmdREFpb, Addr: Addr{Rank: rankID, Bank: bankID}, Cycle: now, CopyRow: -1})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: CmdREFpb, Addr: Addr{Rank: rankID, Bank: bankID}, Cycle: now, CopyRow: -1})
 	}
 }
 
@@ -614,7 +636,7 @@ func (c *Channel) REF(rankID int, now int64) {
 	if c.Check != nil {
 		c.Check.record(CmdREF, Addr{Rank: rankID}, now)
 	}
-	if c.Obs != nil {
-		c.Obs.OnCommand(CmdEvent{Cmd: CmdREF, Addr: Addr{Rank: rankID}, Cycle: now, CopyRow: -1})
+	if c.obs != nil {
+		c.emit(CmdEvent{Cmd: CmdREF, Addr: Addr{Rank: rankID}, Cycle: now, CopyRow: -1})
 	}
 }

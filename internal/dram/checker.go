@@ -24,7 +24,10 @@ var cmdNames = [...]string{"ACT", "ACT-t", "ACT-c", "ACT-copyrow", "PRE", "RD", 
 
 func (c Command) String() string { return cmdNames[c] }
 
-func (c Command) isACT() bool { return c >= CmdACT && c <= CmdACTcr }
+func (c Command) isACT() bool { return c.IsACT() }
+
+// IsACT reports whether the command is one of the four activate variants.
+func (c Command) IsACT() bool { return c >= CmdACT && c <= CmdACTcr }
 
 // event is one recorded command issue.
 type event struct {

@@ -35,6 +35,10 @@ const (
 	// EventCacheHit fires when a request is satisfied by a completed (or
 	// in-flight, once it completes) job with the same key.
 	EventCacheHit
+	// EventProgress fires when a running job reports mid-execution progress
+	// (Progress carries the payload — e.g. an obs.IntervalSnapshot). Only
+	// executing jobs emit it; cache hits replay nothing.
+	EventProgress
 )
 
 // String names the event type.
@@ -48,6 +52,8 @@ func (t EventType) String() string {
 		return "finished"
 	case EventCacheHit:
 		return "cache-hit"
+	case EventProgress:
+		return "progress"
 	}
 	return fmt.Sprintf("event(%d)", int(t))
 }
@@ -64,6 +70,8 @@ type Event struct {
 	// Pending is the number of jobs queued or running when the event
 	// fired, for "N left" progress displays.
 	Pending int
+	// Progress is the mid-execution payload (EventProgress only).
+	Progress any
 }
 
 // Observer receives events. Implementations need no internal locking: the
@@ -285,6 +293,14 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 
 	p.emit(Event{Type: EventFinished, Key: key, Label: label, Duration: dur, Err: err, Pending: p.pendingCount()})
 	return val, err
+}
+
+// Progress emits an EventProgress for a running job. Job functions (or the
+// observability plumbing wrapped around them) call it to stream
+// mid-execution state — interval telemetry, phase markers — to the pool's
+// observers without touching the memoized result.
+func (p *Pool[V]) Progress(key, label string, payload any) {
+	p.emit(Event{Type: EventProgress, Key: key, Label: label, Progress: payload, Pending: p.pendingCount()})
 }
 
 // abandon removes a never-started entry and wakes any coalesced waiters

@@ -24,6 +24,7 @@ import (
 	"crowdram/crow"
 	"crowdram/internal/engine"
 	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 	"crowdram/internal/trace"
 )
 
@@ -100,24 +101,26 @@ func pct2(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 // Runner executes and memoizes simulation runs on a bounded worker pool.
 type Runner struct {
-	Scale  Scale
-	pool   *engine.Pool[crow.Report]
-	ctx    context.Context
-	verify bool
-	run    func(context.Context, crow.Options) (crow.Report, error)
+	Scale     Scale
+	pool      *engine.Pool[crow.Report]
+	ctx       context.Context
+	verify    bool
+	telemetry int64
+	run       func(context.Context, crow.Options) (crow.Report, error)
 }
 
 // RunnerOption configures a Runner.
 type RunnerOption func(*runnerConfig)
 
 type runnerConfig struct {
-	workers  int
-	timeout  time.Duration
-	observer engine.Observer
-	ctx      context.Context
-	verify   bool
-	pool     *engine.Pool[crow.Report]
-	run      func(context.Context, crow.Options) (crow.Report, error)
+	workers   int
+	timeout   time.Duration
+	observer  engine.Observer
+	ctx       context.Context
+	verify    bool
+	telemetry int64
+	pool      *engine.Pool[crow.Report]
+	run       func(context.Context, crow.Options) (crow.Report, error)
 }
 
 // Workers sets how many simulations may execute concurrently (the
@@ -142,6 +145,16 @@ func WithContext(ctx context.Context) RunnerOption { return func(c *runnerConfig
 // describing them, which surfaces through the engine observer's finished
 // events and aborts the sweep like any other run failure.
 func Verify() RunnerOption { return func(c *runnerConfig) { c.verify = true } }
+
+// Telemetry attaches interval telemetry (internal/obs) to every simulation
+// the runner executes: per-bank counters are snapshotted every `every` DRAM
+// cycles and forwarded to the engine pool's observers as EventProgress
+// events, so streaming consumers (the crowserve SSE path) see live per-run
+// state. Zero disables it. Telemetry does not enter the memoization key —
+// cache hits replay no snapshots, because nothing executes.
+func Telemetry(every int64) RunnerOption {
+	return func(c *runnerConfig) { c.telemetry = every }
+}
 
 // UsePool makes the Runner execute on an existing engine pool instead of
 // constructing its own, so independent Runners (e.g. per-request runners in
@@ -181,11 +194,12 @@ func NewRunner(s Scale, opts ...RunnerOption) *Runner {
 		pool.AddObserver(cfg.observer)
 	}
 	return &Runner{
-		Scale:  s,
-		pool:   pool,
-		ctx:    cfg.ctx,
-		verify: cfg.verify,
-		run:    cfg.run,
+		Scale:     s,
+		pool:      pool,
+		ctx:       cfg.ctx,
+		verify:    cfg.verify,
+		telemetry: cfg.telemetry,
+		run:       cfg.run,
 	}
 }
 
@@ -216,10 +230,20 @@ func (r *Runner) scaled(o crow.Options) crow.Options {
 	return o
 }
 
-// exec wraps one simulation, failing the run if the correctness oracle found
+// exec wraps one simulation: it injects the telemetry bundle (if enabled)
+// into the run context, and fails the run if the correctness oracle found
 // violations (only possible when the runner verifies).
 func (r *Runner) exec(o crow.Options) func(context.Context) (crow.Report, error) {
 	return func(ctx context.Context) (crow.Report, error) {
+		if r.telemetry > 0 {
+			key, label := o.Key(), runLabel(o)
+			ctx = obs.With(ctx, &obs.Observers{
+				SnapshotEvery: r.telemetry,
+				OnSnapshot: func(s obs.IntervalSnapshot) {
+					r.pool.Progress(key, label, s)
+				},
+			})
+		}
 		rep, err := r.run(ctx, o)
 		if err == nil && rep.Violations > 0 {
 			sample := ""

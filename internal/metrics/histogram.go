@@ -92,6 +92,11 @@ func (h *Histogram) Percentile(p float64) float64 {
 		seen += h.buckets[k]
 		if seen >= threshold {
 			upper := math.Pow(2, float64(k+1))
+			if k == histBuckets-1 {
+				// The last bucket clamps overflow values, so its power-
+				// of-two edge is not an upper bound for them; max is.
+				upper = h.max
+			}
 			if upper > h.max {
 				upper = h.max
 			}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts the Go runtime profilers selected by non-empty paths
+// — a CPU profile, a heap profile (written at stop), and a runtime
+// execution trace — and returns a stop function that finalizes all of them.
+// The stop function is safe to call exactly once; it reports the first
+// error encountered. With all paths empty it is a no-op that returns a
+// trivial stop, so CLIs can call it unconditionally.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceF, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("exectrace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("exectrace: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && first == nil {
+				first = fmt.Errorf("exectrace: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("memprofile: %w", err)
+				}
+			} else {
+				runtime.GC() // materialize up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+					first = fmt.Errorf("memprofile: %w", err)
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = fmt.Errorf("memprofile: %w", err)
+				}
+			}
+		}
+		return first
+	}, nil
+}

@@ -17,7 +17,7 @@ func benchCommandLoop(b *testing.B, attach func(g dram.Geometry, tm dram.Timing)
 	tm := dram.LPDDR4(dram.Density8Gb, 64, g)
 	c := dram.NewChannel(g, tm)
 	if attach != nil {
-		c.Obs = attach(g, tm)
+		c.Attach(attach(g, tm))
 	}
 	base := tm.Base()
 	now := int64(0)

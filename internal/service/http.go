@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -210,8 +211,20 @@ func (s *Service) Metrics() Metrics {
 	return m
 }
 
+// handleMetrics serves the metrics document, content-negotiated: JSON by
+// default (the historical shape, unchanged), Prometheus text exposition when
+// the client asks for text/plain (what Prometheus scrapers send) or with
+// ?format=prometheus (curl convenience).
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	m := s.Metrics()
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", PromContentType)
+		w.WriteHeader(http.StatusOK)
+		WritePrometheus(w, m)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // Stats summarizes one endpoint's request latency.

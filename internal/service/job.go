@@ -8,6 +8,7 @@ import (
 	"crowdram/crow"
 	"crowdram/internal/engine"
 	"crowdram/internal/exp"
+	"crowdram/internal/obs"
 )
 
 // State is a job's lifecycle position. Queued and Running are transient;
@@ -82,11 +83,14 @@ type Event struct {
 
 // RunEvent mirrors one engine observer event belonging to the job's plan.
 type RunEvent struct {
-	Type       string  `json:"type"` // queued | started | finished | cache-hit
+	Type       string  `json:"type"` // queued | started | finished | cache-hit | progress
 	Label      string  `json:"label"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	Error      string  `json:"error,omitempty"`
 	Pending    int     `json:"pending"`
+	// Telemetry carries an interval snapshot (type "progress" only; set
+	// when the service runs with a telemetry interval).
+	Telemetry *obs.IntervalSnapshot `json:"telemetry,omitempty"`
 }
 
 // Job is one submitted unit of work. All fields behind mu; accessors copy.
@@ -171,6 +175,9 @@ func (j *Job) recordRun(e engine.Event) {
 	}
 	if e.Err != nil {
 		re.Error = e.Err.Error()
+	}
+	if snap, ok := e.Progress.(obs.IntervalSnapshot); ok {
+		re.Telemetry = &snap
 	}
 	j.append(Event{Kind: KindRun, Run: re})
 }

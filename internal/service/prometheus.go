@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PromContentType is the Prometheus text exposition format version served by
+// /metrics when the client negotiates it.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// boolGauge renders a Prometheus 0/1 gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WritePrometheus renders the metrics document in the Prometheus text
+// exposition format (version 0.0.4). The JSON document and this rendering
+// are two views of the same Metrics value, so they can never disagree.
+// Label sets (job states, HTTP routes) are emitted in sorted order, making
+// the output deterministic for a given Metrics value.
+func WritePrometheus(w io.Writer, m Metrics) error {
+	g := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	g("crowserve_queue_depth", "Jobs admitted but not yet started.", m.Queue.Depth)
+	g("crowserve_queue_capacity", "Admission bound; submissions beyond it get 503.", m.Queue.Capacity)
+	g("crowserve_draining", "1 while graceful shutdown is in progress.", boolGauge(m.Queue.Draining))
+	g("crowserve_workers", "Job workers configured.", m.Workers.Total)
+	g("crowserve_workers_busy", "Job workers currently servicing a job.", m.Workers.Busy)
+	g("crowserve_engine_workers", "Concurrent-simulation bound of the shared engine pool.", m.EngineWorkers)
+	g("crowserve_engine_queued", "Simulations waiting for an engine slot.", m.Engine.Queued)
+	g("crowserve_engine_inflight", "Simulations currently executing.", m.Engine.Inflight)
+	g("crowserve_engine_cache_entries", "Memoized (completed or in-flight) simulation results.", m.Engine.Entries)
+	c("crowserve_engine_executions_total", "Simulation functions actually invoked (cache misses).", m.Engine.Executions)
+	c("crowserve_engine_cache_hits_total", "Requests served from the memo cache or a coalesced in-flight run.", m.Engine.CacheHits)
+	c("crowserve_engine_failures_total", "Simulation executions that returned an error.", m.Engine.Failures)
+	g("crowserve_engine_cache_hit_ratio", "cache_hits / (cache_hits + executions).", m.Engine.HitRatio)
+
+	fmt.Fprintf(w, "# HELP crowserve_jobs Jobs by lifecycle state.\n# TYPE crowserve_jobs gauge\n")
+	states := make([]string, 0, len(m.Jobs))
+	for st := range m.Jobs {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "crowserve_jobs{state=%q} %d\n", st, m.Jobs[State(st)])
+	}
+
+	fmt.Fprintf(w, "# HELP crowserve_http_request_duration_ms HTTP request latency by route (SSE streams record their full lifetime).\n# TYPE crowserve_http_request_duration_ms summary\n")
+	routes := make([]string, 0, len(m.HTTP))
+	for r := range m.HTTP {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		st := m.HTTP[r]
+		fmt.Fprintf(w, "crowserve_http_request_duration_ms{route=%q,quantile=\"0.5\"} %g\n", r, st.P50MS)
+		fmt.Fprintf(w, "crowserve_http_request_duration_ms{route=%q,quantile=\"0.99\"} %g\n", r, st.P99MS)
+		fmt.Fprintf(w, "crowserve_http_request_duration_ms_sum{route=%q} %g\n", r, st.MeanMS*float64(st.Count))
+		fmt.Fprintf(w, "crowserve_http_request_duration_ms_count{route=%q} %d\n", r, st.Count)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"crowdram/crow"
+	"crowdram/internal/obs"
+)
+
+// fixedMetrics builds a fully-populated Metrics value with deterministic
+// numbers for the golden rendering test.
+func fixedMetrics() Metrics {
+	var m Metrics
+	m.Queue.Depth = 3
+	m.Queue.Capacity = 64
+	m.Queue.Draining = true
+	m.Workers.Total = 4
+	m.Workers.Busy = 2
+	m.Engine.Queued = 1
+	m.Engine.Inflight = 2
+	m.Engine.Entries = 9
+	m.Engine.Executions = 7
+	m.Engine.CacheHits = 5
+	m.Engine.Failures = 1
+	m.Engine.HitRatio = 0.4
+	m.EngineWorkers = 8
+	m.Jobs = map[State]int{StateDone: 4, StateFailed: 1, StateRunning: 2}
+	m.HTTP = map[string]Stats{
+		"POST /v1/jobs": {Count: 10, MeanMS: 1.5, P50MS: 1, P99MS: 4, MaxMS: 5},
+		"GET /healthz":  {Count: 2, MeanMS: 0.5, P50MS: 0.5, P99MS: 0.5, MaxMS: 0.5},
+	}
+	return m
+}
+
+// promGolden is the expected text exposition of fixedMetrics. Label sets
+// render in sorted order, so this is byte-exact.
+const promGolden = `# HELP crowserve_queue_depth Jobs admitted but not yet started.
+# TYPE crowserve_queue_depth gauge
+crowserve_queue_depth 3
+# HELP crowserve_queue_capacity Admission bound; submissions beyond it get 503.
+# TYPE crowserve_queue_capacity gauge
+crowserve_queue_capacity 64
+# HELP crowserve_draining 1 while graceful shutdown is in progress.
+# TYPE crowserve_draining gauge
+crowserve_draining 1
+# HELP crowserve_workers Job workers configured.
+# TYPE crowserve_workers gauge
+crowserve_workers 4
+# HELP crowserve_workers_busy Job workers currently servicing a job.
+# TYPE crowserve_workers_busy gauge
+crowserve_workers_busy 2
+# HELP crowserve_engine_workers Concurrent-simulation bound of the shared engine pool.
+# TYPE crowserve_engine_workers gauge
+crowserve_engine_workers 8
+# HELP crowserve_engine_queued Simulations waiting for an engine slot.
+# TYPE crowserve_engine_queued gauge
+crowserve_engine_queued 1
+# HELP crowserve_engine_inflight Simulations currently executing.
+# TYPE crowserve_engine_inflight gauge
+crowserve_engine_inflight 2
+# HELP crowserve_engine_cache_entries Memoized (completed or in-flight) simulation results.
+# TYPE crowserve_engine_cache_entries gauge
+crowserve_engine_cache_entries 9
+# HELP crowserve_engine_executions_total Simulation functions actually invoked (cache misses).
+# TYPE crowserve_engine_executions_total counter
+crowserve_engine_executions_total 7
+# HELP crowserve_engine_cache_hits_total Requests served from the memo cache or a coalesced in-flight run.
+# TYPE crowserve_engine_cache_hits_total counter
+crowserve_engine_cache_hits_total 5
+# HELP crowserve_engine_failures_total Simulation executions that returned an error.
+# TYPE crowserve_engine_failures_total counter
+crowserve_engine_failures_total 1
+# HELP crowserve_engine_cache_hit_ratio cache_hits / (cache_hits + executions).
+# TYPE crowserve_engine_cache_hit_ratio gauge
+crowserve_engine_cache_hit_ratio 0.4
+# HELP crowserve_jobs Jobs by lifecycle state.
+# TYPE crowserve_jobs gauge
+crowserve_jobs{state="done"} 4
+crowserve_jobs{state="failed"} 1
+crowserve_jobs{state="running"} 2
+# HELP crowserve_http_request_duration_ms HTTP request latency by route (SSE streams record their full lifetime).
+# TYPE crowserve_http_request_duration_ms summary
+crowserve_http_request_duration_ms{route="GET /healthz",quantile="0.5"} 0.5
+crowserve_http_request_duration_ms{route="GET /healthz",quantile="0.99"} 0.5
+crowserve_http_request_duration_ms_sum{route="GET /healthz"} 1
+crowserve_http_request_duration_ms_count{route="GET /healthz"} 2
+crowserve_http_request_duration_ms{route="POST /v1/jobs",quantile="0.5"} 1
+crowserve_http_request_duration_ms{route="POST /v1/jobs",quantile="0.99"} 4
+crowserve_http_request_duration_ms_sum{route="POST /v1/jobs"} 15
+crowserve_http_request_duration_ms_count{route="POST /v1/jobs"} 10
+`
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte: any
+// rename or reorder of a metric is a deliberate, reviewed change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, fixedMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != promGolden {
+		t.Errorf("prometheus rendering drifted from golden.\ngot:\n%s\nwant:\n%s", b.String(), promGolden)
+	}
+}
+
+// TestMetricsContentNegotiation: /metrics stays JSON by default (historic
+// shape, object-valued top-level keys intact), and serves Prometheus text
+// when the client sends Accept: text/plain or ?format=prometheus.
+func TestMetricsContentNegotiation(t *testing.T) {
+	hook := newTestHook(false)
+	_, ts := newTestService(t, Config{Run: hook.run})
+
+	// Default: JSON, with the pre-Prometheus document shape.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q, want application/json", ct)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("default /metrics is not JSON: %v", err)
+	}
+	for _, key := range []string{"queue", "workers", "engine", "engine_workers", "jobs", "http"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("JSON document lost top-level key %q", key)
+		}
+	}
+
+	// Accept: text/plain (what a Prometheus scraper sends).
+	req := mustReq(t, http.MethodGet, ts.URL+"/metrics")
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("negotiated Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(string(body), "# TYPE crowserve_queue_depth gauge") {
+		t.Errorf("prometheus body missing typed metrics:\n%s", body)
+	}
+
+	// ?format=prometheus (curl convenience, no header needed).
+	resp, err = http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("?format=prometheus Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "crowserve_workers") {
+		t.Errorf("prometheus body missing metrics:\n%s", body)
+	}
+}
+
+// TestTelemetryStreamsOverSSE: with TelemetryInterval set, interval
+// snapshots emitted by the simulation surface as progress events on the
+// job's SSE stream, carrying the per-bank counters.
+func TestTelemetryStreamsOverSSE(t *testing.T) {
+	run := func(ctx context.Context, o crow.Options) (crow.Report, error) {
+		// Stand-in for the simulator: the injected bundle's OnSnapshot is
+		// exactly what sim.RunContext drives at each interval boundary.
+		b := obs.From(ctx)
+		if b == nil || b.OnSnapshot == nil {
+			t.Error("run context carries no telemetry bundle")
+			return crow.Report{}, nil
+		}
+		if b.SnapshotEvery != 5_000 {
+			t.Errorf("SnapshotEvery = %d, want 5000", b.SnapshotEvery)
+		}
+		b.OnSnapshot(obs.IntervalSnapshot{
+			StartCycle: 0, Cycle: 5_000,
+			Banks: []obs.BankSnapshot{{Bank: 3, BankCounters: obs.BankCounters{ACT: 42}}},
+		})
+		return crow.Report{Mechanism: o.Mechanism, IPC: []float64{1}, MPKI: []float64{1}}, nil
+	}
+	_, ts := newTestService(t, Config{Run: run, TelemetryInterval: 5_000})
+
+	st, _ := postJob(t, ts, mcfCache)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+
+	var found bool
+	for _, line := range strings.Split(string(body), "\n") {
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev struct {
+			Run *struct {
+				Telemetry *obs.IntervalSnapshot `json:"telemetry"`
+			} `json:"run"`
+		}
+		if json.Unmarshal([]byte(data), &ev) == nil && ev.Run != nil && ev.Run.Telemetry != nil {
+			snap := ev.Run.Telemetry
+			if snap.Cycle != 5_000 || len(snap.Banks) != 1 || snap.Banks[0].ACT != 42 {
+				t.Fatalf("telemetry event mangled: %+v", snap)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no telemetry event on the SSE stream:\n%s", body)
+	}
+}

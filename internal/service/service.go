@@ -50,6 +50,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// Verify attaches the correctness oracle to every run.
 	Verify bool
+	// TelemetryInterval, when positive, attaches interval telemetry
+	// (internal/obs) to every executed run: per-bank counters snapshot
+	// every this many DRAM cycles and stream to the job's SSE clients as
+	// "progress" run events. Cache hits replay no telemetry.
+	TelemetryInterval int64
 	// Run substitutes the simulation executor (default crow.RunContext);
 	// tests inject context-aware hooks here.
 	Run func(context.Context, crow.Options) (crow.Report, error)
@@ -282,6 +287,9 @@ func (s *Service) runJob(j *Job) {
 	}
 	if s.cfg.Verify {
 		ropts = append(ropts, exp.Verify())
+	}
+	if s.cfg.TelemetryInterval > 0 {
+		ropts = append(ropts, exp.Telemetry(s.cfg.TelemetryInterval))
 	}
 	runner := exp.NewRunner(s.cfg.Scale, ropts...)
 

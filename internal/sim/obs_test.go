@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"crowdram/internal/dram"
+	"crowdram/internal/obs"
+)
+
+// TestOracleAndObserversCoexist is the fan-out acceptance test: the
+// correctness oracle (Verify), the event tracer, and interval telemetry all
+// attach to the same run, every consumer sees the command stream, and the
+// simulation result is bit-identical to an unobserved run — observability
+// changes nothing about what it observes.
+func TestOracleAndObserversCoexist(t *testing.T) {
+	baseCfg := verifyConfig(30_000)
+	baseCfg.Verify = false
+	base := New(baseCfg, newVerifiedCROW(baseCfg), mcfGens(t, 1)).Run()
+
+	cfg := verifyConfig(30_000)
+	var snaps []obs.IntervalSnapshot
+	cfg.Obs = &obs.Observers{
+		TraceCapacity: 1 << 20,
+		SnapshotEvery: 10_000,
+		OnSnapshot:    func(s obs.IntervalSnapshot) { snaps = append(snaps, s) },
+	}
+	res := New(cfg, newVerifiedCROW(cfg), mcfGens(t, 1)).Run()
+
+	// The oracle ran alongside the tracer and stayed clean.
+	if res.Verify.Total() != 0 {
+		t.Fatalf("oracle violations with tracer attached: %v", res.Verify.Counts)
+	}
+
+	// The tracer captured the run, including CROW's new commands.
+	tr := cfg.Obs.Tracer()
+	if tr == nil || tr.Total() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	var actT, actC int64
+	tr.Events(func(e obs.Event) {
+		if e.Class != obs.ClassCmd {
+			return
+		}
+		switch e.Cmd {
+		case dram.CmdACTt:
+			actT++
+		case dram.CmdACTc:
+			actC++
+		}
+	})
+	if actT == 0 || actC == 0 {
+		t.Fatalf("trace has %d ACT-t / %d ACT-c events, want both > 0", actT, actC)
+	}
+
+	// Telemetry snapshots arrived, tile the measured span contiguously, and
+	// agree with the device's own command counts (warmup is flushed as its
+	// own leading interval, so the measured stats start at snapshot 1).
+	if len(snaps) < 2 {
+		t.Fatalf("got %d telemetry snapshots, want >= 2", len(snaps))
+	}
+	var acts, rds int64
+	for i, s := range snaps {
+		if i > 0 {
+			if s.StartCycle != snaps[i-1].Cycle {
+				t.Fatalf("snapshot %d starts at %d, previous ended at %d",
+					i, s.StartCycle, snaps[i-1].Cycle)
+			}
+			for _, b := range s.Banks {
+				acts += b.ACT + b.ActT + b.ActC
+				rds += b.RD
+			}
+		}
+	}
+	if acts != res.DRAM.Activations() || rds != res.DRAM.RD {
+		t.Fatalf("telemetry totals ACT=%d RD=%d, device stats ACT=%d RD=%d",
+			acts, rds, res.DRAM.Activations(), res.DRAM.RD)
+	}
+
+	// Observation must not perturb the simulation.
+	if res.IPC[0] != base.IPC[0] || res.DRAM != base.DRAM {
+		t.Fatalf("observed run diverged from unobserved run:\nIPC %v vs %v\nDRAM %+v vs %+v",
+			res.IPC, base.IPC, res.DRAM, base.DRAM)
+	}
+}

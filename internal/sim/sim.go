@@ -14,6 +14,7 @@ import (
 	"crowdram/internal/dram"
 	"crowdram/internal/energy"
 	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 	"crowdram/internal/oracle"
 	"crowdram/internal/prefetch"
 	"crowdram/internal/tldram"
@@ -44,6 +45,13 @@ type Config struct {
 	// are reported in Result.Verify. Costs roughly 10-20% simulation time
 	// (see BENCH_oracle.json).
 	Verify bool
+
+	// Obs, when non-nil and enabled, attaches the observability bundle
+	// (event tracer, interval telemetry — internal/obs) to every channel,
+	// controller, and the CROW mechanism. It composes with Verify: the
+	// oracle and the obs consumers ride the same command fan-out. Not part
+	// of the memoization key (see obs.With); a bundle serves one run.
+	Obs *obs.Observers
 
 	// WarmupInsts and MeasureInsts are per-core instruction counts: stats
 	// reset once every core has retired WarmupInsts, and the run ends
@@ -221,7 +229,19 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 			MaxPostpone:       cfg.MaxPostpone,
 		})
 		for ch := range s.Ctrls {
-			s.Ctrls[ch].Dev.Obs = s.Oracle.Observer(ch)
+			s.Ctrls[ch].Dev.Attach(s.Oracle.Observer(ch))
+		}
+	}
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Bind(cfg.Channels, cfg.Geo, cfg.T)
+		for ch := range s.Ctrls {
+			if co := cfg.Obs.CommandObserver(ch); co != nil {
+				s.Ctrls[ch].Dev.Attach(co)
+			}
+			s.Ctrls[ch].Obs = cfg.Obs.SchedObserver(ch)
+		}
+		if cw, ok := mech.(*core.CROW); ok {
+			cw.Obs = cfg.Obs.TableObserver()
 		}
 	}
 	s.LLC = cache.New(cfg.LLC, memPort{s}, len(gens))
@@ -351,6 +371,11 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	// Reset measurement state. Catch device accounting up to the present
 	// first, so the snapshots see current counters.
 	s.syncDevStats()
+	if s.Cfg.Obs.NextSnapshot() > 0 {
+		// Flush warmup activity as one interval so measured snapshots
+		// start clean at the measurement boundary.
+		s.Cfg.Obs.TakeSnapshot(s.dramCycle)
+	}
 	startDRAM := s.dramCycle
 	var devSnap []dram.Stats
 	var ctrlSnap []ctrl.Stats
@@ -378,8 +403,14 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if s.Cfg.MaxMeasureCycles > 0 {
 		limit = s.cpuCycle + s.Cfg.MaxMeasureCycles
 	}
+	snapAt := s.Cfg.Obs.NextSnapshot()
 	for s.cpuCycle < limit {
 		s.tick()
+		if snapAt > 0 && s.dramCycle >= snapAt {
+			s.syncDevStats()
+			s.Cfg.Obs.TakeSnapshot(s.dramCycle)
+			snapAt = s.Cfg.Obs.NextSnapshot()
+		}
 		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
@@ -440,6 +471,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	if cw, ok := s.Mech.(*core.CROW); ok {
 		res.CROW = diffCROW(cw.Stats, crowSnap)
 	}
+	s.Cfg.Obs.Finish(s.dramCycle)
 	if s.Oracle != nil {
 		s.Oracle.Finish(s.dramCycle)
 		for ch, c := range s.Ctrls {
