@@ -45,6 +45,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	fs.SetOutput(stderr)
 	var (
 		mech     = fs.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
+		standard = fs.String("standard", "lpddr4", "memory standard: "+strings.Join(crow.Standards(), ", "))
+		sched    = fs.String("sched", "", "controller scheduler: "+strings.Join(crow.Schedulers(), ", ")+" (default frfcfs-cap)")
+		rowPol   = fs.String("rowpolicy", "", "row-buffer policy: "+strings.Join(crow.RowPolicies(), ", ")+" (default timeout)")
+		mapping  = fs.String("mapping", "", "address mapping: "+strings.Join(crow.Mappings(), ", ")+" (default robarococh)")
 		loads    = fs.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
 		traces   = fs.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
 		copyRows = fs.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
@@ -68,6 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		verbose  = fs.Bool("v", false, "print progress per simulation run")
 		asJSON   = fs.Bool("json", false, "emit the report as JSON")
 		list     = fs.Bool("list", false, "list available workloads and exit")
+		listStds = fs.Bool("list-standards", false, "list registered standards, schedulers, row policies and mappings, then exit")
 
 		traceOut   = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run (open at ui.perfetto.dev)")
 		traceCap   = fs.Int("trace-cap", 1_000_000, "event-tracer ring capacity; oldest events drop beyond it")
@@ -81,6 +86,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(crow.Workloads(), "\n"))
+		return nil
+	}
+	if *listStds {
+		fmt.Fprintf(stdout, "standards:    %s\n", strings.Join(crow.Standards(), ", "))
+		fmt.Fprintf(stdout, "schedulers:   %s\n", strings.Join(crow.Schedulers(), ", "))
+		fmt.Fprintf(stdout, "row policies: %s\n", strings.Join(crow.RowPolicies(), ", "))
+		fmt.Fprintf(stdout, "mappings:     %s\n", strings.Join(crow.Mappings(), ", "))
 		return nil
 	}
 	if *traceOut != "" && *compare {
@@ -102,6 +114,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 
 	opts := crow.Options{
 		Mechanism:       crow.Mechanism(*mech),
+		Standard:        *standard,
+		Scheduler:       *sched,
+		RowPolicy:       *rowPol,
+		Mapping:         *mapping,
 		Workloads:       strings.Split(*loads, ","),
 		TraceFiles:      splitNonEmpty(*traces),
 		CopyRows:        *copyRows,
@@ -119,6 +135,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		PerBankRefresh:  *perBank,
 		RefreshPostpone: *postpone,
 		Verify:          *verify,
+	}
+	// Reject unknown names (standard, scheduler, …) with the registry listing
+	// up front, instead of failing deep inside a run.
+	if err := opts.Validate(); err != nil {
+		return err
 	}
 
 	if *compare {

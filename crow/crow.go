@@ -25,6 +25,7 @@ import (
 
 	"crowdram/internal/chargecache"
 	"crowdram/internal/core"
+	"crowdram/internal/ctrl"
 	"crowdram/internal/dram"
 	"crowdram/internal/metrics"
 	"crowdram/internal/obs"
@@ -73,6 +74,25 @@ const (
 // the paper's defaults (Table 2).
 type Options struct {
 	Mechanism Mechanism
+
+	// Standard selects the memory standard: "lpddr4" (the paper's Table 2
+	// device, the default), "ddr5" (DDR5-4800 with same-bank refresh), or
+	// "hbm2" (an HBM2 stack with pseudo-channels). See crow.Standards().
+	// CROW's mechanisms are standard-agnostic, so every mechanism runs on
+	// every standard.
+	Standard string
+	// Scheduler selects the controller's request scheduler: "frfcfs-cap"
+	// (Table 2's capped FR-FCFS, the default), "frfcfs" (uncapped), or
+	// "fcfs". See crow.Schedulers().
+	Scheduler string
+	// RowPolicy selects the row-buffer management policy: "timeout"
+	// (Table 2's 75 ns idle close, the default), "open", or "closed". See
+	// crow.RowPolicies(). (SALP with SALPOpenPage defaults to "open".)
+	RowPolicy string
+	// Mapping selects the physical-address bit layout: "robarococh"
+	// (row-streaming, the default) or "rocobarach" (bank-interleaved). See
+	// crow.Mappings().
+	Mapping string
 
 	// Workloads names the application run on each core (1–4 entries);
 	// see crow.Workloads() for the available names. Defaults to
@@ -154,6 +174,21 @@ func (o Options) withDefaults() Options {
 	if o.Mechanism == "" {
 		o.Mechanism = Baseline
 	}
+	if o.Standard == "" {
+		o.Standard = "lpddr4"
+	}
+	if o.Scheduler == "" {
+		o.Scheduler = ctrl.DefaultScheduler
+	}
+	if o.RowPolicy == "" {
+		o.RowPolicy = ctrl.DefaultRowPolicy
+		if o.Mechanism == SALP && o.SALPOpenPage {
+			o.RowPolicy = "open"
+		}
+	}
+	if o.Mapping == "" {
+		o.Mapping = dram.DefaultMapping
+	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = []string{"mcf"}
 	}
@@ -164,7 +199,13 @@ func (o Options) withDefaults() Options {
 		o.DensityGbit = 8
 	}
 	if o.RefreshWindowMS == 0 {
+		// The baseline retention window is a property of the standard:
+		// 64 ms for LPDDR4, 32 ms for DDR5 and HBM2. Unknown standard
+		// names keep the LPDDR4 default here and are rejected by Validate.
 		o.RefreshWindowMS = 64
+		if std, err := dram.StandardByName(o.Standard); err == nil {
+			o.RefreshWindowMS = std.DefaultRefreshWindowMS()
+		}
 	}
 	if o.WeakRowsPerSubarray == 0 {
 		o.WeakRowsPerSubarray = 3
@@ -401,16 +442,32 @@ func build(o Options) (sim.Config, core.Mechanism, error) {
 		dram.Density32Gb: true, dram.Density64Gb: true}[density]; !ok {
 		return sim.Config{}, nil, fmt.Errorf("crow: unsupported density %d Gbit", o.DensityGbit)
 	}
+	std, err := dram.StandardByName(o.Standard)
+	if err != nil {
+		return sim.Config{}, nil, fmt.Errorf("crow: %w", err)
+	}
+	if o.Mechanism == SALP && o.Standard != "lpddr4" {
+		// SALP's geometry override below rebuilds an LPDDR4-shaped device.
+		return sim.Config{}, nil, fmt.Errorf("crow: salp supports only the lpddr4 standard, got %q", o.Standard)
+	}
 	copyRows := o.CopyRows
 	switch o.Mechanism {
 	case Baseline, TLDRAM, SALP, IdealCache, IdealNoRefresh, RAIDR, ChargeCache:
 		copyRows = 0
 	}
-	cfg := sim.Default(copyRows, density, o.RefreshWindowMS)
+	cfg := sim.DefaultFor(std, copyRows, density, o.RefreshWindowMS)
 	cfg.LLC.SizeBytes = o.LLCBytes
 	cfg.Cap = o.ControllerCap
 	cfg.Timeout = o.RowTimeoutNs
 	cfg.PerBankRefresh = o.PerBankRefresh
+	if o.PerBankRefresh {
+		// The legacy boolean overrides the standard's default granularity
+		// (LPDDR4's REFpb mode; on DDR5 it replaces same-bank refresh).
+		cfg.Refresh = "perbank"
+	}
+	cfg.Scheduler = o.Scheduler
+	cfg.RowPolicy = o.RowPolicy
+	cfg.Mapping = o.Mapping
 	cfg.MaxPostpone = o.RefreshPostpone
 	cfg.Prefetch = o.Prefetch
 	cfg.Verify = o.Verify

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"crowdram/internal/ctrl"
+	"crowdram/internal/dram"
 	"crowdram/internal/trace"
 )
 
@@ -13,6 +15,18 @@ func Mechanisms() []Mechanism {
 	return []Mechanism{Baseline, Cache, Ref, CacheRef, Hammer, IdealCache,
 		IdealNoRefresh, TLDRAM, SALP, RAIDR, ChargeCache}
 }
+
+// Standards returns the registered memory-standard names, sorted.
+func Standards() []string { return dram.StandardNames() }
+
+// Schedulers returns the registered scheduler names, sorted.
+func Schedulers() []string { return ctrl.SchedulerNames() }
+
+// RowPolicies returns the registered row-policy names, sorted.
+func RowPolicies() []string { return ctrl.RowPolicyNames() }
+
+// Mappings returns the registered address-mapping names, sorted.
+func Mappings() []string { return dram.MappingNames() }
 
 // DecodeOptions parses Options from JSON strictly: an unknown field is an
 // error, not silence — a remote caller who misspells "CopyRows" gets a clear
@@ -57,6 +71,21 @@ func (o Options) Validate() error {
 	case 8, 16, 32, 64:
 	default:
 		return fmt.Errorf("crow: unsupported density %d Gbit (want 8, 16, 32 or 64)", d.DensityGbit)
+	}
+	if _, err := dram.StandardByName(d.Standard); err != nil {
+		return fmt.Errorf("crow: %w", err)
+	}
+	if _, err := ctrl.SchedulerByName(d.Scheduler); err != nil {
+		return fmt.Errorf("crow: %w", err)
+	}
+	if _, err := ctrl.RowPolicyByName(d.RowPolicy); err != nil {
+		return fmt.Errorf("crow: %w", err)
+	}
+	if err := dram.CheckMapping(d.Mapping); err != nil {
+		return fmt.Errorf("crow: %w", err)
+	}
+	if d.Mechanism == SALP && d.Standard != "lpddr4" {
+		return fmt.Errorf("crow: salp supports only the lpddr4 standard, got %q", d.Standard)
 	}
 	if len(o.TraceFiles) > 0 {
 		if len(o.TraceFiles) > 4 {

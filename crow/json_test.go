@@ -85,6 +85,11 @@ func TestValidate(t *testing.T) {
 		{"negative insts", Options{MeasureInsts: -1}, "non-negative"},
 		{"negative copyrows", Options{CopyRows: -2}, "non-negative"},
 		{"negative window", Options{RefreshWindowMS: -5}, "non-negative"},
+		{"standard", Options{Standard: "ddr9"}, `unknown standard "ddr9" (registered: ddr5, hbm2, lpddr4)`},
+		{"scheduler", Options{Scheduler: "rr"}, `unknown scheduler "rr" (registered: fcfs, frfcfs, frfcfs-cap)`},
+		{"row policy", Options{RowPolicy: "adaptive"}, `unknown row policy "adaptive" (registered: closed, open, timeout)`},
+		{"mapping", Options{Mapping: "colmajor"}, `unknown mapping "colmajor" (registered: robarococh, rocobarach)`},
+		{"salp standard", Options{Mechanism: SALP, Standard: "ddr5"}, "salp supports only the lpddr4 standard"},
 	}
 	for _, c := range bad {
 		err := c.o.Validate()
@@ -100,6 +105,8 @@ func TestValidate(t *testing.T) {
 		{},
 		{Mechanism: Hammer, Workloads: []string{"mcf", "lbm", "gcc", "soplex"}},
 		{TraceFiles: []string{"/tmp/a.trace"}}, // existence checked at run time
+		{Standard: "ddr5", Scheduler: "fcfs", RowPolicy: "closed", Mapping: "rocobarach"},
+		{Mechanism: Cache, Standard: "hbm2"},
 	}
 	for i, o := range good {
 		if err := o.Validate(); err != nil {

@@ -1,0 +1,112 @@
+package crow
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryHelpers pins the public registry listings the CLIs print.
+func TestRegistryHelpers(t *testing.T) {
+	for _, c := range []struct {
+		kind string
+		got  []string
+		want string
+	}{
+		{"Standards", Standards(), "ddr5,hbm2,lpddr4"},
+		{"Schedulers", Schedulers(), "fcfs,frfcfs,frfcfs-cap"},
+		{"RowPolicies", RowPolicies(), "closed,open,timeout"},
+		{"Mappings", Mappings(), "robarococh,rocobarach"},
+	} {
+		if got := strings.Join(c.got, ","); got != c.want {
+			t.Errorf("%s() = %s, want %s", c.kind, got, c.want)
+		}
+	}
+}
+
+// TestStandardDefaultsInKey checks the per-standard defaulting that feeds
+// the memoization key: the refresh window follows the standard, and the
+// explicit policy names land in the canonical Options.
+func TestStandardDefaultsInKey(t *testing.T) {
+	for _, c := range []struct {
+		std    string
+		window string
+	}{
+		{"lpddr4", `"RefreshWindowMS":64`},
+		{"ddr5", `"RefreshWindowMS":32`},
+		{"hbm2", `"RefreshWindowMS":32`},
+	} {
+		key := Options{Standard: c.std}.Key()
+		if !strings.Contains(key, c.window) {
+			t.Errorf("%s key %s lacks %s", c.std, key, c.window)
+		}
+	}
+	// An explicit window wins over the standard default.
+	if key := (Options{Standard: "ddr5", RefreshWindowMS: 128}).Key(); !strings.Contains(key, `"RefreshWindowMS":128`) {
+		t.Errorf("explicit window lost: %s", key)
+	}
+	// The zero Options and the spelled-out defaults are the same run.
+	explicit := Options{Standard: "lpddr4", Scheduler: "frfcfs-cap", RowPolicy: "timeout", Mapping: "robarococh"}
+	if (Options{}).Key() != explicit.Key() {
+		t.Error("zero Options and explicit defaults must share a key")
+	}
+}
+
+// TestCrossStandardVerifyClean is the refactor's acceptance test: CROW-cache
+// and CROW-ref run on DDR5 and HBM2 selected purely through crow.Options,
+// with the cross-layer oracle attached and silent. The refresh-deadline
+// monitor in particular retimes itself per standard (32 ms windows, REFsb /
+// REFpb granularity), so a mis-threaded cycle time or refresh policy shows
+// up here as violations.
+func TestCrossStandardVerifyClean(t *testing.T) {
+	for _, std := range []string{"ddr5", "hbm2"} {
+		for _, m := range []Mechanism{Cache, Ref} {
+			t.Run(std+"/"+string(m), func(t *testing.T) {
+				rep, err := Run(Options{
+					Mechanism:    m,
+					Standard:     std,
+					Workloads:    []string{"mcf"},
+					Verify:       true,
+					MeasureInsts: 20_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Violations != 0 {
+					t.Fatalf("oracle violations on %s: %v\nsamples: %v",
+						std, rep.ViolationCounts, rep.ViolationSamples)
+				}
+				if len(rep.IPC) != 1 || rep.IPC[0] <= 0 {
+					t.Fatalf("no forward progress: IPC %v", rep.IPC)
+				}
+				if rep.Refreshes == 0 {
+					t.Fatal("no refreshes issued")
+				}
+			})
+		}
+	}
+}
+
+// TestNonDefaultPoliciesVerifyClean drives the policy registries end to end
+// on every standard: an uncapped scheduler with an open-page policy and the
+// bank-interleaved mapping must still satisfy the oracle.
+func TestNonDefaultPoliciesVerifyClean(t *testing.T) {
+	for _, std := range []string{"lpddr4", "ddr5", "hbm2"} {
+		t.Run(std, func(t *testing.T) {
+			rep, err := Run(Options{
+				Standard:     std,
+				Scheduler:    "frfcfs",
+				RowPolicy:    "open",
+				Mapping:      "rocobarach",
+				Workloads:    []string{"lbm"},
+				Verify:       true,
+				MeasureInsts: 20_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violations != 0 {
+				t.Fatalf("oracle violations: %v\nsamples: %v", rep.ViolationCounts, rep.ViolationSamples)
+			}
+		})
+	}
+}

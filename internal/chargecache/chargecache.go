@@ -58,7 +58,7 @@ func New(channels int, t dram.Timing, entries int) *Mechanism {
 		Entries: entries,
 		base:    t.Base(),
 		charged: dram.ActTimings{RCD: scale(t.RCD, RCDDelta), RAS: ras, RASFull: ras, WR: t.WR},
-		window:  int64(WindowNs / dram.Cycle),
+		window:  int64(WindowNs / t.CycleTime()),
 		tables:  make([][]entry, channels),
 	}
 	return m

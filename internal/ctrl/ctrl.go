@@ -57,6 +57,18 @@ type Config struct {
 	// demand requests are queued (JEDEC permits 8), catching up when the
 	// rank idles — elastic refresh [107].
 	MaxPostpone int
+
+	// Scheduler, RowPolicy, and Refresh name the controller policies to
+	// compose, resolved from the registries in policy.go. Empty fields
+	// resolve to the Table 2 controller: "frfcfs-cap", "timeout" (or
+	// "open" when OpenPage is set), and "allbank" (or "perbank" when
+	// PerBankRefresh is set) — the legacy booleans keep working.
+	Scheduler string
+	RowPolicy string
+	Refresh   string
+
+	// Features forwards standard-specific device behaviours to the channel.
+	Features dram.Features
 }
 
 // DefaultConfig returns the Table 2 controller configuration.
@@ -87,12 +99,13 @@ type Stats struct {
 	Scrubs         int64 // idle-cycle full-restore passes
 }
 
-// AvgReadLatencyNs returns the mean read latency in nanoseconds.
-func (s *Stats) AvgReadLatencyNs() float64 {
+// AvgReadLatencyNs returns the mean read latency in nanoseconds, given the
+// command-clock cycle time of the standard the controller ran.
+func (s *Stats) AvgReadLatencyNs(cycleNs float64) float64 {
 	if s.ReadsServed == 0 {
 		return 0
 	}
-	return float64(s.ReadLatencySum) / float64(s.ReadsServed) * dram.Cycle
+	return float64(s.ReadLatencySum) / float64(s.ReadsServed) * cycleNs
 }
 
 // SchedKind classifies one scheduler decision for observers.
@@ -242,6 +255,14 @@ type Controller struct {
 
 	pendingCopy *copyState
 
+	// The composed policies, resolved from the registries at construction.
+	// effCap is the scheduler's effective per-activation hit cap (0 =
+	// unlimited, for the uncapped FR-FCFS variant).
+	schedPol Scheduler
+	rowPol   RowPolicy
+	refPol   RefreshPolicy
+	effCap   int
+
 	// Cached capability assertions on Mech, resolved once at construction
 	// so the per-cycle path performs no dynamic interface checks.
 	copySrc  copySource
@@ -277,19 +298,23 @@ func (c *Controller) sched(k SchedKind, a dram.Addr, now int64) {
 	})
 }
 
-// New builds a controller over a fresh device channel.
+// New builds a controller over a fresh device channel. Unknown policy names
+// panic: user-facing inputs are validated at the crow.Options layer, so an
+// unknown name here is a wiring bug.
 func New(cfg Config, mech core.Mechanism) *Controller {
 	dev := dram.NewChannel(cfg.Geo, cfg.T)
 	dev.MASA = cfg.MASA
+	dev.Features = cfg.Features
 	c := &Controller{
 		Cfg:         cfg,
 		Dev:         dev,
 		Mech:        mech,
 		hitsServed:  make(map[subKey]int),
 		bankLast:    make(map[int]int64),
-		timeout:     int64(cfg.TimeoutNs / dram.Cycle),
+		timeout:     int64(cfg.TimeoutNs / cfg.T.CycleTime()),
 		ReadLatency: metrics.NewHistogram(),
 	}
+	c.resolvePolicies()
 	c.refDue = make([]int64, cfg.Geo.Ranks)
 	c.refOwed = make([]int, cfg.Geo.Ranks)
 	c.refRow = make([]int, cfg.Geo.Ranks)
@@ -301,6 +326,53 @@ func New(cfg Config, mech core.Mechanism) *Controller {
 	c.scrubSrc, _ = mech.(scrubSource)
 	c.opPeek, _ = mech.(opPeeker)
 	return c
+}
+
+// resolvePolicies looks the configured policy names up, mapping empty names
+// (and the legacy OpenPage/PerBankRefresh booleans) to the Table 2 defaults,
+// and derives the policy-dependent scalars (effCap, zero timeout for the
+// closed-page policy).
+func (c *Controller) resolvePolicies() {
+	sname := c.Cfg.Scheduler
+	if sname == "" {
+		sname = DefaultScheduler
+	}
+	rname := c.Cfg.RowPolicy
+	if rname == "" {
+		rname = DefaultRowPolicy
+		if c.Cfg.OpenPage {
+			rname = "open"
+		}
+	}
+	fname := c.Cfg.Refresh
+	if fname == "" {
+		fname = DefaultRefreshPolicy
+		if c.Cfg.PerBankRefresh {
+			fname = "perbank"
+		}
+	}
+	var err error
+	if c.schedPol, err = SchedulerByName(sname); err != nil {
+		panic(err)
+	}
+	if c.rowPol, err = RowPolicyByName(rname); err != nil {
+		panic(err)
+	}
+	if c.refPol, err = RefreshPolicyByName(fname); err != nil {
+		panic(err)
+	}
+	if sname == DefaultScheduler {
+		c.effCap = c.Cfg.Cap
+	}
+	if rname == "closed" {
+		c.timeout = 0
+	}
+}
+
+// Policies returns the names of the composed scheduler, row policy, and
+// refresh policy (for reporting and tests).
+func (c *Controller) Policies() (scheduler, rowPolicy, refresh string) {
+	return c.schedPol.Name(), c.rowPol.Name(), c.refPol.Name()
 }
 
 // GetRequest returns a zeroed request from the controller's freelist (or a
@@ -328,7 +400,7 @@ func (c *Controller) refInterval() int64 {
 		return 1 << 62
 	}
 	iv := int64(c.Cfg.T.REFI) * int64(mult)
-	if c.Cfg.PerBankRefresh {
+	if c.refPol.PerBank() {
 		iv /= int64(c.Cfg.Geo.Banks)
 	}
 	return iv
@@ -410,10 +482,8 @@ func (c *Controller) NextEvent(now int64) int64 {
 			next = c.refDue[r]
 		}
 	}
-	if !c.Cfg.OpenPage {
-		if t := c.Dev.EarliestTimeoutPRE(c.timeout); t < next {
-			next = t
-		}
+	if t := c.rowPol.NextClose(c); t < next {
+		next = t
 	}
 	if next <= now {
 		return now + 1
@@ -445,15 +515,15 @@ func (c *Controller) Tick(now int64) {
 	if c.draining || len(c.readQ) == 0 {
 		q, other = &c.writeQ, &c.readQ
 	}
-	if c.schedule(q, now) {
+	if c.schedPol.Schedule(c, q, now) {
 		return
 	}
 	// If the preferred queue could not issue, let the other queue's row
 	// hits through (writes never starve reads and vice versa).
-	if c.scheduleHits(other, now) {
+	if c.schedPol.ScheduleHits(c, other, now) {
 		return
 	}
-	if c.serviceTimeout(now) {
+	if c.rowPol.ServiceIdle(c, now) {
 		return
 	}
 	c.serviceScrub(now)
@@ -482,9 +552,10 @@ func (c *Controller) key(a dram.Addr) subKey {
 
 func (c *Controller) bankKey(a dram.Addr) int { return a.Rank*c.Cfg.Geo.Banks + a.Bank }
 
-// serviceRefresh manages per-rank refresh (all-bank REFab or per-bank
-// REFpb), with optional elastic postponement; returns true if it issued a
-// command this cycle.
+// serviceRefresh runs the shared refresh state machine — per-rank deadline
+// accounting with elastic postponement [107] — and delegates the granularity
+// of the refresh command itself (REFab, REFpb, REFsb) to the composed
+// RefreshPolicy; returns true if a command issued this cycle.
 func (c *Controller) serviceRefresh(now int64) bool {
 	for r := 0; r < c.Cfg.Geo.Ranks; r++ {
 		for now >= c.refDue[r] {
@@ -499,49 +570,13 @@ func (c *Controller) serviceRefresh(now int64) bool {
 		if c.refOwed[r] <= c.Cfg.MaxPostpone && c.hasRankDemand(r) {
 			continue
 		}
-		if c.Cfg.PerBankRefresh {
-			// Time each REFpb to bank idleness: defer while the target
-			// bank has queued demand, within the per-bank postponement
-			// budget JEDEC allows (8), so the refresh lands in a gap
-			// instead of stalling an active bank.
-			budget := c.Cfg.MaxPostpone
-			if budget == 0 {
-				budget = c.Cfg.Geo.Banks
-			}
-			if c.refOwed[r] <= budget && c.hasBankDemand(r, c.refBank[r]) {
-				continue
-			}
-			if c.refreshBank(r, now) {
-				return true
-			}
-			return false
-		}
-		if c.Dev.CanREF(r, now) {
-			c.Dev.REF(r, now)
-			c.Stats.Refreshes++
-			if c.Obs != nil {
-				c.sched(SchedRefresh, dram.Addr{Channel: c.Cfg.ChannelID, Rank: r}, now)
-			}
-			start := c.refRow[r]
-			c.Mech.OnRefreshRows(c.Cfg.ChannelID, r, -1, start, c.Cfg.T.RowsPerRef)
-			c.refRow[r] = (start + c.Cfg.T.RowsPerRef) % c.Cfg.Geo.RowsPerBank
-			c.refOwed[r]--
+		done, wait := c.refPol.Issue(c, r, now)
+		if done {
 			return true
 		}
-		// Close open rows so REF can issue.
-		c.osBuf = c.Dev.OpenSubarraysAppend(c.osBuf[:0])
-		for _, os := range c.osBuf {
-			if os.Rank != r {
-				continue
-			}
-			a := dram.Addr{Channel: c.Cfg.ChannelID, Rank: os.Rank, Bank: os.Bank, Row: os.Row}
-			if c.Dev.CanPRE(a, now) {
-				c.preAndNotify(a, now)
-				return true
-			}
+		if wait {
+			return false
 		}
-		// Blocked on tRAS/tRP; wait.
-		return false
 	}
 	return false
 }
@@ -684,7 +719,7 @@ func (c *Controller) scheduleHits(q *[]*Request, now int64) bool {
 				continue
 			}
 			k := c.key(r.Addr)
-			if c.hitsServed[k] >= c.Cfg.Cap {
+			if c.effCap > 0 && c.hitsServed[k] >= c.effCap {
 				continue
 			}
 			if c.issueColumn(r, now) {
@@ -720,6 +755,32 @@ func (c *Controller) scheduleOldest(q *[]*Request, now int64) bool {
 	return false
 }
 
+// scheduleInOrder is the FCFS pass: only the oldest queued request may
+// issue. A row hit at the head is served in place; anything else progresses
+// through the usual precharge/activate path.
+func (c *Controller) scheduleInOrder(q *[]*Request, now int64) bool {
+	if len(*q) == 0 {
+		return false
+	}
+	r := (*q)[0]
+	if c.Dev.OpenRow(r.Addr) == r.Addr.Row {
+		if c.issueColumn(r, now) {
+			c.hitsServed[c.key(r.Addr)]++
+			c.Stats.RowHits++
+			if c.Obs != nil {
+				c.sched(SchedRowHit, r.Addr, now)
+			}
+			*q = append((*q)[:0], (*q)[1:]...)
+			if r.Type == Write {
+				c.PutRequest(r) // reads recycle at completion-event pop
+			}
+			return true
+		}
+		return false
+	}
+	return c.progress(r, now)
+}
+
 // progress tries to issue the next command the request needs; returns true
 // if a command was issued.
 func (c *Controller) progress(r *Request, now int64) bool {
@@ -728,7 +789,7 @@ func (c *Controller) progress(r *Request, now int64) bool {
 	if open == a.Row {
 		// Row open but over the hit cap: FR-FCFS-Cap treats it as a
 		// conflict and recycles the row [81].
-		if c.hitsServed[c.key(a)] >= c.Cfg.Cap && c.Dev.CanPRE(a, now) {
+		if c.effCap > 0 && c.hitsServed[c.key(a)] >= c.effCap && c.Dev.CanPRE(a, now) {
 			c.Stats.RowConflicts++
 			if c.Obs != nil {
 				c.sched(SchedRowConflict, a, now)
@@ -829,12 +890,9 @@ func (c *Controller) issueColumn(r *Request, now int64) bool {
 }
 
 // serviceTimeout closes rows idle past the timeout with no queued requests
-// (the Table 2 timeout-based row-buffer policy); disabled under the SALP
-// open-page policy. Returns true if it issued a command.
+// (the Table 2 timeout-based row-buffer policy; the timeout/closed row
+// policies invoke it). Returns true if it issued a command.
 func (c *Controller) serviceTimeout(now int64) bool {
-	if c.Cfg.OpenPage {
-		return false
-	}
 	// Cheap reject: no open subarray can have timed out yet.
 	if c.Dev.EarliestTimeoutPRE(c.timeout) > now {
 		return false

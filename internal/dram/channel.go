@@ -34,6 +34,21 @@ type rank struct {
 	lastACT   int64 // most recent ACT (tRRD)
 	refBusy   int64 // REF in progress until this cycle
 	wrDataEnd int64 // end of most recent write burst (tWTR)
+
+	// dataBusFree is the per-rank data-bus horizon, used instead of the
+	// channel-level one when Features.PerRankDataBus is set (HBM2
+	// pseudo-channels: each pseudo-channel owns half the data interface).
+	dataBusFree int64
+}
+
+// Features selects optional device behaviours that distinguish the memory
+// standards sharing this state machine.
+type Features struct {
+	// PerRankDataBus gives every rank its own data bus, modelling HBM2
+	// pseudo-channels (mapped onto the rank dimension): the command/address
+	// bus stays shared, but data bursts on different pseudo-channels do not
+	// serialize against each other.
+	PerRankDataBus bool
 }
 
 // Stats counts the commands issued to a channel, by type.
@@ -111,6 +126,10 @@ type Channel struct {
 	// subarrays of the same bank may hold open rows concurrently.
 	MASA bool
 
+	// Features selects standard-specific device behaviours; the zero value
+	// is the conventional LPDDR4/DDR5 shared-bus channel.
+	Features Features
+
 	ranks       []rank
 	cmdBusFree  int64 // next cycle the command bus is free
 	dataBusFree int64 // next cycle the data bus is free
@@ -181,6 +200,23 @@ func NewChannel(g Geometry, t Timing) *Channel {
 
 func (c *Channel) sub(a Addr) *subState {
 	return &c.ranks[a.Rank].banks[a.Bank].subs[a.Subarray(c.Geo)]
+}
+
+// dataFree returns the data-bus horizon governing rank r: the channel bus,
+// or the rank's own when the standard has per-rank data buses.
+func (c *Channel) dataFree(r int) int64 {
+	if c.Features.PerRankDataBus {
+		return c.ranks[r].dataBusFree
+	}
+	return c.dataBusFree
+}
+
+func (c *Channel) setDataFree(r int, v int64) {
+	if c.Features.PerRankDataBus {
+		c.ranks[r].dataBusFree = v
+		return
+	}
+	c.dataBusFree = v
 }
 
 // Tick advances the channel's per-cycle accounting to `now`. The controller
@@ -433,7 +469,7 @@ func (c *Channel) CanRD(a Addr, now int64) bool {
 	if now < rk.wrDataEnd+int64(c.T.WTR) {
 		return false
 	}
-	if now+int64(c.T.CL) < c.dataBusFree {
+	if now+int64(c.T.CL) < c.dataFree(a.Rank) {
 		return false
 	}
 	return true
@@ -446,7 +482,7 @@ func (c *Channel) RD(a Addr, now int64) int64 {
 	}
 	s := c.sub(a)
 	dataStart := now + int64(c.T.CL)
-	c.dataBusFree = dataStart + int64(c.T.BL)
+	c.setDataFree(a.Rank, dataStart+int64(c.T.BL))
 	c.lastColCmd = now
 	c.cmdBusFree = now + 1
 	if pre := now + int64(c.T.RTP); pre > s.preReady {
@@ -477,7 +513,7 @@ func (c *Channel) CanWR(a Addr, now int64) bool {
 	if now < c.lastColCmd+int64(c.T.CCD) {
 		return false
 	}
-	if now+int64(c.T.CWL) < c.dataBusFree {
+	if now+int64(c.T.CWL) < c.dataFree(a.Rank) {
 		return false
 	}
 	return true
@@ -493,7 +529,7 @@ func (c *Channel) WR(a Addr, now int64) {
 	rk := &c.ranks[a.Rank]
 	s := c.sub(a)
 	dataEnd := now + int64(c.T.CWL) + int64(c.T.BL)
-	c.dataBusFree = dataEnd
+	c.setDataFree(a.Rank, dataEnd)
 	c.lastColCmd = now
 	c.cmdBusFree = now + 1
 	rk.wrDataEnd = dataEnd

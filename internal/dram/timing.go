@@ -30,6 +30,21 @@ type Timing struct {
 	// by each REF command.
 	RefWindow  int64
 	RowsPerRef int
+
+	// CycleNs is the duration of one command-clock cycle in nanoseconds
+	// for the standard that produced this timing table. Zero means the
+	// historical LPDDR4-3200 clock (the Cycle constant); use CycleTime to
+	// read it.
+	CycleNs float64
+}
+
+// CycleTime returns the command-clock cycle duration in nanoseconds,
+// defaulting to the LPDDR4-3200 clock for zero-valued timing tables.
+func (t Timing) CycleTime() float64 {
+	if t.CycleNs > 0 {
+		return t.CycleNs
+	}
+	return Cycle
 }
 
 // CyclesPerSecond is the LPDDR4-3200 command clock frequency.
@@ -91,6 +106,7 @@ func LPDDR4(d Density, refWindowMS float64, g Geometry) Timing {
 		REFI:       int(window / refsPerWindow),
 		RefWindow:  window,
 		RowsPerRef: g.RowsPerBank / refsPerWindow,
+		CycleNs:    Cycle,
 	}
 }
 

@@ -77,7 +77,7 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 // Compute derives the energy breakdown of one channel from its command
 // statistics over `cycles` DRAM clock cycles.
 func Compute(s dram.Stats, t dram.Timing, cycles int64, p Params) Breakdown {
-	ns := func(c int64) float64 { return float64(c) * dram.Cycle }
+	ns := func(c int64) float64 { return float64(c) * t.CycleTime() }
 	mWtoNJ := func(mA float64, dur float64) float64 { return mA * p.VDD * dur * 1e-3 }
 
 	var b Breakdown

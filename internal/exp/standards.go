@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+
+	"crowdram/crow"
+	"crowdram/internal/metrics"
+)
+
+// StandardRow is one mechanism's result on a non-LPDDR4 memory standard.
+type StandardRow struct {
+	Name        string
+	Speedup     float64 // vs the same standard's baseline
+	HitRate     float64
+	EnergyRatio float64
+	RowHitRate  float64
+	ReadNs      float64
+}
+
+// StandardResult holds the cross-standard study for one memory standard:
+// CROW's mechanisms rebuilt on a different device, selected purely through
+// crow.Options.Standard. The speedups answer the portability question the
+// composable-standard refactor exists for — whether CROW's benefit survives
+// a device with different timings, bank counts and refresh granularity.
+type StandardResult struct {
+	Standard string
+	Rows     []StandardRow
+}
+
+func standardConfigs(std string) []struct {
+	name string
+	o    crow.Options
+} {
+	return []struct {
+		name string
+		o    crow.Options
+	}{
+		{"crow-cache (CROW-8)", crow.Options{Mechanism: crow.Cache, Standard: std}},
+		{"crow-ref", crow.Options{Mechanism: crow.Ref, Standard: std}},
+		{"crow-cache+ref", crow.Options{Mechanism: crow.CacheRef, Standard: std}},
+	}
+}
+
+// StandardPlan declares the cross-standard study's runs for one standard.
+func StandardPlan(std string) func(*Runner) []crow.Options {
+	return func(r *Runner) []crow.Options {
+		var plan []crow.Options
+		for _, cfg := range standardConfigs(std) {
+			for _, app := range r.singleApps() {
+				o := cfg.o
+				o.Workloads = []string{app.Name}
+				plan = append(plan,
+					crow.Options{Mechanism: crow.Baseline, Standard: std, Workloads: []string{app.Name}},
+					o)
+			}
+		}
+		return plan
+	}
+}
+
+// StandardStudy runs CROW-cache, CROW-ref and their combination on the named
+// standard's single-core suite, each against that standard's own baseline.
+func StandardStudy(r *Runner, std string) (StandardResult, error) {
+	res := StandardResult{Standard: std}
+	for _, cfg := range standardConfigs(std) {
+		var sp, en, hr, rh, lat []float64
+		for _, app := range r.singleApps() {
+			base, err := r.Run(crow.Options{Mechanism: crow.Baseline, Standard: std, Workloads: []string{app.Name}})
+			if err != nil {
+				return StandardResult{}, err
+			}
+			o := cfg.o
+			o.Workloads = []string{app.Name}
+			rep, err := r.Run(o)
+			if err != nil {
+				return StandardResult{}, err
+			}
+			sp = append(sp, metrics.Speedup(rep.IPC[0], base.IPC[0]))
+			en = append(en, rep.EnergyNJ.Total()/base.EnergyNJ.Total())
+			hr = append(hr, rep.CROWTableHitRate)
+			rh = append(rh, rep.RowHitRate)
+			lat = append(lat, rep.AvgReadLatencyNs)
+		}
+		res.Rows = append(res.Rows, StandardRow{
+			Name: cfg.name, Speedup: metrics.Mean(sp), HitRate: metrics.Mean(hr),
+			EnergyRatio: metrics.Mean(en), RowHitRate: metrics.Mean(rh), ReadNs: metrics.Mean(lat),
+		})
+	}
+	return res, nil
+}
+
+// Row returns the named design point.
+func (s StandardResult) Row(name string) StandardRow {
+	for _, row := range s.Rows {
+		if row.Name == name {
+			return row
+		}
+	}
+	return StandardRow{}
+}
+
+// Table renders the cross-standard study.
+func (s StandardResult) Table() Table {
+	t := Table{
+		Title:  fmt.Sprintf("Extension: CROW mechanisms on %s (vs %s baseline)", s.Standard, s.Standard),
+		Header: []string{"mechanism", "speedup", "table hit rate", "energy ratio", "row hits", "read ns"},
+		Notes: []string{
+			"same mechanisms, different device: only Options.Standard changed;",
+			"timings, bank counts and refresh granularity come from the standard registry",
+		},
+	}
+	for _, row := range s.Rows {
+		t.Rows = append(t.Rows, []string{row.Name, pct(row.Speedup), pct2(row.HitRate),
+			fmt.Sprintf("%.3f", row.EnergyRatio), pct2(row.RowHitRate), fmt.Sprintf("%.1f", row.ReadNs)})
+	}
+	return t
+}
+
+// DDR5Plan declares the DDR5 cross-standard study's runs.
+func DDR5Plan(r *Runner) []crow.Options { return StandardPlan("ddr5")(r) }
+
+// DDR5Study runs the cross-standard study on DDR5-4800 (same-bank refresh).
+func DDR5Study(r *Runner) (StandardResult, error) { return StandardStudy(r, "ddr5") }
+
+// HBM2Plan declares the HBM2 cross-standard study's runs.
+func HBM2Plan(r *Runner) []crow.Options { return StandardPlan("hbm2")(r) }
+
+// HBM2Study runs the cross-standard study on HBM2 (pseudo-channels,
+// per-bank refresh).
+func HBM2Study(r *Runner) (StandardResult, error) { return StandardStudy(r, "hbm2") }

@@ -156,8 +156,8 @@ func (t *Tracer) Events(fn func(Event)) {
 
 // usPerCycle converts DRAM command cycles to Chrome trace timestamps
 // (microseconds; fractional values are legal and Perfetto keeps the
-// sub-microsecond precision).
-const usPerCycle = dram.Cycle / 1e3
+// sub-microsecond precision) at the bound standard's command clock.
+func (t *Tracer) usPerCycle() float64 { return t.t.CycleTime() / 1e3 }
 
 // trackID maps an address to its per-bank track. Track 0 is reserved for
 // the scheduler, and each bank of each rank gets its own thread row.
@@ -230,9 +230,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		fmt.Fprintf(bw, "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%q}}", k.ch, k.tid, seenTrack[k])
 	}
 
+	us := t.usPerCycle()
 	t.Events(func(e Event) {
 		sep()
-		ts := float64(e.Cycle) * usPerCycle
+		ts := float64(e.Cycle) * us
 		switch e.Class {
 		case ClassCmd:
 			tid := t.trackID(e.Rank, e.Bank)
@@ -240,7 +241,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				tid = 0
 			}
 			fmt.Fprintf(bw, "{\"ph\":\"X\",\"name\":%q,\"cat\":\"cmd\",\"pid\":%d,\"tid\":%d,\"ts\":%.4f,\"dur\":%.4f,\"args\":{\"row\":%d,\"cycle\":%d}}",
-				e.Cmd.String(), e.Ch, tid, ts, float64(e.Dur)*usPerCycle, e.Row, e.Cycle)
+				e.Cmd.String(), e.Ch, tid, ts, float64(e.Dur)*us, e.Row, e.Cycle)
 		case ClassSched:
 			fmt.Fprintf(bw, "{\"ph\":\"i\",\"name\":%q,\"cat\":\"sched\",\"pid\":%d,\"tid\":0,\"ts\":%.4f,\"s\":\"t\",\"args\":{\"readq\":%d,\"writeq\":%d,\"bank\":%d,\"row\":%d}}",
 				ctrl.SchedKind(e.Sub).String(), e.Ch, ts, e.ReadQ, e.WriteQ, e.Bank, e.Row)

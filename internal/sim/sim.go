@@ -1,7 +1,8 @@
 // Package sim binds the pieces into the full simulated system of Table 2:
-// 1–4 trace-driven cores at 4 GHz, a shared LLC, four LPDDR4 channels at a
-// 1600 MHz command clock, and a pluggable core.Mechanism. The simulation
-// advances in CPU cycles with an exact 2:5 DRAM:CPU clock ratio.
+// 1–4 trace-driven cores at 4 GHz, a shared LLC, a set of DRAM channels of
+// a pluggable memory standard (LPDDR4 by default), and a pluggable
+// core.Mechanism. The simulation advances in CPU cycles with an exact
+// DRAM:CPU clock ratio taken from the standard (2:5 for LPDDR4-3200).
 package sim
 
 import (
@@ -38,6 +39,27 @@ type Config struct {
 	// REFpb, elastic postponement).
 	PerBankRefresh bool
 	MaxPostpone    int
+
+	// Scheduler, RowPolicy, and Refresh name the controller policies
+	// (registries in internal/ctrl); empty strings resolve to the Table 2
+	// defaults, honouring the OpenPage/PerBankRefresh booleans above.
+	Scheduler string
+	RowPolicy string
+	Refresh   string
+
+	// Mapping names the address-mapping layout (registry in internal/dram;
+	// empty = dram.DefaultMapping).
+	Mapping string
+
+	// RatioNum/RatioDen set the DRAM:CPU clock ratio: the command clock
+	// advances RatioNum ticks every RatioDen CPU cycles. Zero values mean
+	// LPDDR4-3200's 2:5 (1600 MHz vs 4 GHz).
+	RatioNum int
+	RatioDen int
+
+	// Features forwards standard-specific device behaviours (e.g. HBM2's
+	// per-rank data bus) to every channel.
+	Features dram.Features
 
 	// Verify attaches the correctness oracle (internal/oracle) to every
 	// channel: a shadow data memory, refresh-deadline monitor, and
@@ -86,6 +108,24 @@ func Default(copyRows int, d dram.Density, refWindowMS float64) Config {
 	}
 }
 
+// DefaultFor returns the Table 2 system configuration retargeted to the
+// given memory standard: its channel count, geometry, timing table, clock
+// ratio, refresh granularity, and device features. For the LPDDR4 standard
+// the result is field-for-field what Default returns (the explicit
+// RatioNum/RatioDen and Refresh values resolve to the same behaviour as the
+// zero values).
+func DefaultFor(std dram.Standard, copyRows int, d dram.Density, refWindowMS float64) Config {
+	cfg := Default(copyRows, d, refWindowMS)
+	g := std.Geometry(copyRows)
+	cfg.Channels = std.Channels()
+	cfg.Geo = g
+	cfg.T = std.Timing(d, refWindowMS, g)
+	cfg.RatioNum, cfg.RatioDen = std.ClockRatio()
+	cfg.Refresh = std.DefaultRefresh()
+	cfg.Features = std.Features()
+	return cfg
+}
+
 // Result reports the outcome of one simulation run.
 type Result struct {
 	IPC        []float64 // per-core measured IPC
@@ -122,13 +162,15 @@ type System struct {
 	Cores  []*cpu.Core
 	LLC    *cache.Cache
 	Ctrls  []*ctrl.Controller
-	Mapper *dram.Mapper
+	Mapper dram.AddressMapper
 	Pref   *prefetch.Prefetcher
 	Oracle *oracle.Oracle // nil unless Cfg.Verify
 
 	cpuCycle  int64
 	dramCycle int64
 	accum     int
+	ratioNum  int64 // DRAM ticks per ratioDen CPU cycles
+	ratioDen  int64
 
 	// readDone is the one completion callback shared by every read
 	// request (built once in New): it delivers the returned line to the
@@ -204,7 +246,19 @@ func (s *System) Translate(coreID int, vaddr uint64) uint64 {
 // mechanism.
 func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 	s := &System{Cfg: cfg, Mech: mech}
-	s.Mapper = dram.NewMapper(cfg.Channels, cfg.Geo)
+	s.ratioNum, s.ratioDen = 2, 5
+	if cfg.RatioNum > 0 && cfg.RatioDen > 0 {
+		s.ratioNum, s.ratioDen = int64(cfg.RatioNum), int64(cfg.RatioDen)
+	}
+	mapping := cfg.Mapping
+	if mapping == "" {
+		mapping = dram.DefaultMapping
+	}
+	mapper, err := dram.NewMapperFor(mapping, cfg.Channels, cfg.Geo)
+	if err != nil {
+		panic(err) // user-facing names are validated at the crow.Options layer
+	}
+	s.Mapper = mapper
 	s.physPages = uint64(s.Mapper.Capacity()) >> 12
 	s.Ctrls = make([]*ctrl.Controller, cfg.Channels)
 	for ch := range s.Ctrls {
@@ -215,17 +269,30 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 		ccfg.OpenPage = cfg.OpenPage
 		ccfg.PerBankRefresh = cfg.PerBankRefresh
 		ccfg.MaxPostpone = cfg.MaxPostpone
+		ccfg.Scheduler = cfg.Scheduler
+		ccfg.RowPolicy = cfg.RowPolicy
+		ccfg.Refresh = cfg.Refresh
+		ccfg.Features = cfg.Features
 		s.Ctrls[ch] = ctrl.New(ccfg, mech)
 	}
 	if cfg.Verify {
+		// The oracle consumes policy-resolved facts, not the raw config
+		// strings: the cap check only applies under the capped scheduler,
+		// and bank-granular refresh (perbank or DDR5's samebank) divides
+		// the deadline interval.
+		schedName, _, refName := s.Ctrls[0].Policies()
+		oracleCap := 0
+		if schedName == ctrl.DefaultScheduler {
+			oracleCap = cfg.Cap
+		}
 		s.Oracle = oracle.New(oracle.Config{
 			Channels:          cfg.Channels,
 			Geo:               cfg.Geo,
 			T:                 cfg.T,
-			Cap:               cfg.Cap,
+			Cap:               oracleCap,
 			DataChecks:        shadowDataApplies(mech),
 			RefreshMultiplier: mech.RefreshMultiplier(),
-			PerBankRefresh:    cfg.PerBankRefresh,
+			PerBankRefresh:    refName != ctrl.DefaultRefreshPolicy,
 			MaxPostpone:       cfg.MaxPostpone,
 		})
 		for ch := range s.Ctrls {
@@ -267,10 +334,11 @@ func (s *System) tick() {
 		c.Tick(s.cpuCycle)
 	}
 	s.LLC.Tick(s.cpuCycle)
-	// 2 DRAM command cycles per 5 CPU cycles (1600 MHz vs 4 GHz).
-	s.accum += 2
-	if s.accum >= 5 {
-		s.accum -= 5
+	// ratioNum DRAM command cycles per ratioDen CPU cycles (2:5 for
+	// LPDDR4-3200's 1600 MHz vs 4 GHz; 3:5 for DDR5-4800; 1:4 for HBM2).
+	s.accum += int(s.ratioNum)
+	if int64(s.accum) >= s.ratioDen {
+		s.accum -= int(s.ratioDen)
 		s.dramCycle++
 		for _, c := range s.Ctrls {
 			c.Tick(s.dramCycle)
@@ -301,10 +369,10 @@ func (s *System) skipIdle(limit int64) {
 	}
 	if dnext < dram.Horizon {
 		// The k-th DRAM tick from accumulator state `accum` lands
-		// ceil((5k-accum)/2) CPU cycles ahead; stop one cycle short so the
-		// normal tick performs it.
+		// ceil((den*k-accum)/num) CPU cycles ahead; stop one cycle short
+		// so the normal tick performs it.
 		k := dnext - s.dramCycle
-		m := (5*k - int64(s.accum) + 1) / 2
+		m := (s.ratioDen*k - int64(s.accum) + s.ratioNum - 1) / s.ratioNum
 		if m-1 < n {
 			n = m - 1
 		}
@@ -319,9 +387,9 @@ func (s *System) skipIdle(limit int64) {
 	for _, c := range s.Cores {
 		c.AdvanceIdle(n)
 	}
-	total := int64(s.accum) + 2*n
-	s.dramCycle += total / 5
-	s.accum = int(total % 5)
+	total := int64(s.accum) + s.ratioNum*n
+	s.dramCycle += total / s.ratioDen
+	s.accum = int(total % s.ratioDen)
 }
 
 // syncDevStats brings each device's delta-based cycle accounting up to the
@@ -461,13 +529,13 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	// Mean read latency weighted by each channel's read count. Averaging
 	// the per-channel means would let a nearly idle channel's handful of
 	// reads count as much as a busy channel's millions.
-	res.AvgReadNs = res.Ctrl.AvgReadLatencyNs()
+	res.AvgReadNs = res.Ctrl.AvgReadLatencyNs(s.Cfg.T.CycleTime())
 	allLat := metrics.NewHistogram()
 	for _, c := range s.Ctrls {
 		allLat.Merge(c.ReadLatency)
 	}
-	res.ReadP50Ns = allLat.Percentile(50) * dram.Cycle
-	res.ReadP99Ns = allLat.Percentile(99) * dram.Cycle
+	res.ReadP50Ns = allLat.Percentile(50) * s.Cfg.T.CycleTime()
+	res.ReadP99Ns = allLat.Percentile(99) * s.Cfg.T.CycleTime()
 	if cw, ok := s.Mech.(*core.CROW); ok {
 		res.CROW = diffCROW(cw.Stats, crowSnap)
 	}

@@ -271,11 +271,11 @@ func TestAvgReadNsWeightsByChannelLoad(t *testing.T) {
 	sum := addCtrl(hot, idle)
 	want := float64(hot.ReadLatencySum+idle.ReadLatencySum) /
 		float64(hot.ReadsServed+idle.ReadsServed) * dram.Cycle
-	if got := sum.AvgReadLatencyNs(); got != want {
+	if got := sum.AvgReadLatencyNs(dram.Cycle); got != want {
 		t.Fatalf("aggregated AvgReadLatencyNs = %g, want sum-of-sums/sum-of-counts = %g", got, want)
 	}
-	biased := (hot.AvgReadLatencyNs() + idle.AvgReadLatencyNs()) / 2
-	if math.Abs(sum.AvgReadLatencyNs()-biased) < 0.1 {
+	biased := (hot.AvgReadLatencyNs(dram.Cycle) + idle.AvgReadLatencyNs(dram.Cycle)) / 2
+	if math.Abs(sum.AvgReadLatencyNs(dram.Cycle)-biased) < 0.1 {
 		t.Fatal("test is vacuous: weighted mean and mean-of-means coincide")
 	}
 }
@@ -290,7 +290,7 @@ func TestAvgReadNsMatchesAggregateStats(t *testing.T) {
 	if res.Ctrl.ReadsServed == 0 {
 		t.Fatal("run served no reads")
 	}
-	if want := res.Ctrl.AvgReadLatencyNs(); res.AvgReadNs != want {
+	if want := res.Ctrl.AvgReadLatencyNs(cfg.T.CycleTime()); res.AvgReadNs != want {
 		t.Errorf("AvgReadNs = %g, want aggregate-weighted %g", res.AvgReadNs, want)
 	}
 }
