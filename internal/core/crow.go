@@ -1,11 +1,17 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"crowdram/internal/dram"
 	"crowdram/internal/retention"
 )
 
-// Stats counts CROW-table events.
+// Stats counts CROW-table events. A mechanism instance is shared by every
+// channel of a system, and the sharded tick loop calls into it from
+// per-channel goroutines concurrently, so the counters are incremented
+// atomically (addition commutes, so totals match a serial run exactly).
+// Fallback is only written during setup, before any concurrent ticking.
 type Stats struct {
 	Hits       int64 // ACT-t activations of an existing duplicate
 	Misses     int64 // activations with no matching entry
@@ -314,14 +320,14 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 	switch d.Kind {
 	case dram.ActTwo:
 		if d.RestoreFirst {
-			c.Stats.RestoreOps++
+			atomic.AddInt64(&c.Stats.RestoreOps, 1)
 			if c.Obs != nil {
 				c.tev(TableRestore, a, d.RestoreCopyRow, cycle)
 			}
 			set[d.RestoreCopyRow].lastUse = cycle
 			break
 		}
-		c.Stats.Hits++
+		atomic.AddInt64(&c.Stats.Hits, 1)
 		if c.Obs != nil {
 			c.tev(TableHit, a, d.CopyRow, cycle)
 		}
@@ -332,21 +338,21 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 			// A demand activation performing a pending remap copy: the
 			// entry stays a CROW-ref/RowHammer remap. CopyPending clears
 			// at precharge, once restoration of the pair completes.
-			c.Stats.Copies++
+			atomic.AddInt64(&c.Stats.Copies, 1)
 			if c.Obs != nil {
 				c.tev(TableCopy, a, d.CopyRow, cycle)
 			}
 			e.lastUse = cycle
 			break
 		}
-		c.Stats.Misses++
-		c.Stats.Copies++
+		atomic.AddInt64(&c.Stats.Misses, 1)
+		atomic.AddInt64(&c.Stats.Copies, 1)
 		if c.Obs != nil {
 			c.tev(TableMiss, a, d.CopyRow, cycle)
 			c.tev(TableCopy, a, d.CopyRow, cycle)
 		}
 		if set[d.CopyRow].Allocated {
-			c.Stats.Evictions++
+			atomic.AddInt64(&c.Stats.Evictions, 1)
 			if c.Obs != nil {
 				c.tev(TableEviction, a, d.CopyRow, cycle)
 			}
@@ -359,13 +365,13 @@ func (c *CROW) OnActivate(a dram.Addr, d ActDecision, cycle int64) {
 			lastUse:    cycle,
 		}
 	case dram.ActCopyRow:
-		c.Stats.RefRemaps++
+		atomic.AddInt64(&c.Stats.RefRemaps, 1)
 		if c.Obs != nil {
 			c.tev(TableRefRemap, a, d.CopyRow, cycle)
 		}
 	case dram.ActSingle:
 		if c.Cache && !d.RestoreFirst {
-			c.Stats.Misses++
+			atomic.AddInt64(&c.Stats.Misses, 1)
 			if c.Obs != nil {
 				c.tev(TableMiss, a, -1, cycle)
 			}
@@ -530,7 +536,7 @@ func (c *CROW) countHammer(a dram.Addr, cycle int64) {
 				continue
 			}
 			set[w].Kind = EntryHammer
-			c.Stats.HamRemaps++
+			atomic.AddInt64(&c.Stats.HamRemaps, 1)
 			if c.Obs != nil {
 				c.tev(TableHamRemap, victim, w, cycle)
 			}
@@ -553,7 +559,7 @@ func (c *CROW) countHammer(a dram.Addr, cycle int64) {
 		c.pendingCopies[a.Channel] = append(c.pendingCopies[a.Channel], CopyOp{
 			Addr: victim, Kind: dram.ActCopy, CopyRow: w, Timing: c.Crow.CopyFull,
 		})
-		c.Stats.HamRemaps++
+		atomic.AddInt64(&c.Stats.HamRemaps, 1)
 		if c.Obs != nil {
 			c.tev(TableHamRemap, victim, w, cycle)
 		}

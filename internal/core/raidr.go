@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"crowdram/internal/dram"
 	"crowdram/internal/retention"
 )
@@ -22,7 +24,8 @@ type RAIDR struct {
 	Profile *retention.Profile
 
 	// RowRefreshes counts the row-granular weak-row refresh operations
-	// queued to the controllers.
+	// queued to the controllers (updated atomically: the sharded tick loop
+	// services refresh from per-channel goroutines concurrently).
 	RowRefreshes int64
 
 	base    dram.ActTimings
@@ -82,7 +85,7 @@ func (r *RAIDR) OnRefreshRows(channel, rank, bank, startRow, n int) {
 					Kind:   dram.ActSingle,
 					Timing: r.base,
 				})
-				r.RowRefreshes++
+				atomic.AddInt64(&r.RowRefreshes, 1)
 			}
 		}
 	}

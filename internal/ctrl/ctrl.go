@@ -209,8 +209,6 @@ func (q *eventQueue) pop() event {
 	return e
 }
 
-type subKey struct{ rank, bank, sub int }
-
 // copySource is implemented by mechanisms that enqueue ACT-c copy work
 // (RowHammer victim duplication, dynamic CROW-ref remaps).
 type copySource interface {
@@ -246,7 +244,12 @@ type Controller struct {
 	readQ, writeQ []*Request
 	draining      bool
 
-	hitsServed map[subKey]int
+	// hitsServed counts column commands served from the current activation,
+	// per subarray, indexed by key(). A flat slice rather than a map: the
+	// scheduler reads it on every hit-pass iteration, and the whole table is
+	// a few KiB of contiguous memory that stays cache-resident.
+	hitsServed  []int
+	subsPerBank int
 
 	refDue  []int64 // next refresh deadline per rank
 	refOwed []int   // refreshes due but not yet issued, per rank
@@ -276,7 +279,7 @@ type Controller struct {
 	timeout     int64
 	lastEnqueue int64 // most recent demand arrival (gates scrubbing)
 	lastScrub   int64
-	bankLast    map[int]int64 // last demand command per bank (gates scrubbing)
+	bankLast    []int64 // last demand command per bank (gates scrubbing), by bankKey
 
 	// ReadLatency tracks the distribution of read latencies in DRAM
 	// cycles (arrival to data), in logarithmic buckets.
@@ -305,12 +308,14 @@ func New(cfg Config, mech core.Mechanism) *Controller {
 	dev := dram.NewChannel(cfg.Geo, cfg.T)
 	dev.MASA = cfg.MASA
 	dev.Features = cfg.Features
+	subs := cfg.Geo.SubarraysPerBank()
 	c := &Controller{
 		Cfg:         cfg,
 		Dev:         dev,
 		Mech:        mech,
-		hitsServed:  make(map[subKey]int),
-		bankLast:    make(map[int]int64),
+		hitsServed:  make([]int, cfg.Geo.Ranks*cfg.Geo.Banks*subs),
+		subsPerBank: subs,
+		bankLast:    make([]int64, cfg.Geo.Ranks*cfg.Geo.Banks),
 		timeout:     int64(cfg.TimeoutNs / cfg.T.CycleTime()),
 		ReadLatency: metrics.NewHistogram(),
 	}
@@ -492,8 +497,18 @@ func (c *Controller) NextEvent(now int64) int64 {
 }
 
 // Tick advances the controller by one DRAM cycle, issuing at most one
-// command.
+// command. It is TickEvents followed by TickSchedule; the sharded tick loop
+// (internal/sim) drives the halves separately so completion delivery can be
+// serialized across channels while scheduling runs in parallel.
 func (c *Controller) Tick(now int64) {
+	c.TickEvents(now)
+	c.TickSchedule(now)
+}
+
+// TickEvents is the completion half of Tick: it advances the device's
+// per-cycle accounting and fires every completion event due at now, in heap
+// order, recycling each finished request after its callback returns.
+func (c *Controller) TickEvents(now int64) {
 	c.Dev.Tick(now)
 	for len(c.events) > 0 && c.events[0].at <= now {
 		e := c.events.pop()
@@ -502,7 +517,37 @@ func (c *Controller) Tick(now int64) {
 		}
 		c.PutRequest(e.req)
 	}
+}
 
+// TickEventsDeferred is TickEvents with delivery detached: events due at now
+// are popped in the exact order TickEvents would fire them, appended to buf,
+// and returned for a later CompleteDeferred. The sharded tick loop uses this
+// to pop per-channel events concurrently while the completion callbacks —
+// which touch the shared LLC — run on one goroutine in fixed channel order.
+func (c *Controller) TickEventsDeferred(now int64, buf []*Request) []*Request {
+	c.Dev.Tick(now)
+	for len(c.events) > 0 && c.events[0].at <= now {
+		buf = append(buf, c.events.pop().req)
+	}
+	return buf
+}
+
+// CompleteDeferred fires and recycles completions collected by
+// TickEventsDeferred, replicating TickEvents' per-event sequence: the Done
+// callback, then recycling. The slice contents are consumed.
+func (c *Controller) CompleteDeferred(now int64, reqs []*Request) {
+	for _, r := range reqs {
+		if r.Done != nil {
+			r.Done(now, r.Line)
+		}
+		c.PutRequest(r)
+	}
+}
+
+// TickSchedule is the scheduling half of Tick: refresh, mechanism-initiated
+// copies, drain-mode transitions, the composed scheduler passes, the idle-row
+// policy, and scrubbing. At most one command issues per call.
+func (c *Controller) TickSchedule(now int64) {
 	if c.serviceRefresh(now) {
 		return
 	}
@@ -546,8 +591,8 @@ func (c *Controller) updateDrainMode(now int64) {
 	}
 }
 
-func (c *Controller) key(a dram.Addr) subKey {
-	return subKey{a.Rank, a.Bank, a.Subarray(c.Cfg.Geo)}
+func (c *Controller) key(a dram.Addr) int {
+	return (a.Rank*c.Cfg.Geo.Banks+a.Bank)*c.subsPerBank + a.Subarray(c.Cfg.Geo)
 }
 
 func (c *Controller) bankKey(a dram.Addr) int { return a.Rank*c.Cfg.Geo.Banks + a.Bank }
@@ -695,7 +740,7 @@ func (c *Controller) preAndNotify(a dram.Addr, now int64) {
 	open := c.Dev.OpenRow(a)
 	full := c.Dev.PRE(a, now)
 	c.Mech.OnPrecharge(a, open, full, now)
-	delete(c.hitsServed, c.key(a))
+	c.hitsServed[c.key(a)] = 0
 }
 
 // schedule runs the FR-FCFS-Cap passes over a queue; returns true if a

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readGolden loads one experiment's golden report, failing (not skipping) if
+// it is missing — a missing file would silently shrink the matrix.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+	if err != nil {
+		t.Fatalf("no golden file for %s (generate with -update): %v", name, err)
+	}
+	return want
+}
+
+// checkAgainstGoldens renders each experiment on the runner and compares the
+// tables byte-for-byte against the golden files.
+func checkAgainstGoldens(t *testing.T, r *Runner, exps []Experiment, combo string) {
+	t.Helper()
+	for _, e := range exps {
+		tbl, err := e.Table(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := []byte(tbl.String()); !bytes.Equal(got, readGolden(t, e.Name)) {
+			t.Errorf("%s at %s drifted from its golden report", e.Name, combo)
+		}
+	}
+}
+
+// TestGoldenReportsShardedFullSweep executes the complete experiment
+// registry — every standard, mechanism, and ablation — with each simulation
+// advancing its channels on up to 8 goroutines, and byte-compares all 22
+// reports against the same golden files the serial suite uses. This is the
+// broad half of the determinism matrix: one sharded combination, full
+// experiment coverage.
+//
+// The runner gets its own engine pool on purpose: sharding does not enter
+// the memoization key (byte-identity is the reason it's allowed to share
+// cache entries in production), so reusing a pool that already executed
+// these runs serially would compare cached serial results against golden
+// files and prove nothing about the parallel path.
+func TestGoldenReportsShardedFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sharded QuickScale sweep; skipped in -short")
+	}
+	r := NewRunner(QuickScale(), Workers(4), Shards(8))
+	if err := r.Execute(PlanAll(r, Experiments())); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstGoldens(t, r, Experiments(), "shards=8 j=4")
+}
+
+// TestGoldenReportsShardMatrix is the deep half of the determinism matrix:
+// the three per-standard experiments (sched on LPDDR4, ddr5, hbm2 — whose
+// systems have 4, 2, and 8 channels) re-execute at every remaining
+// (shards, workers) combination and must reproduce their golden reports
+// byte-for-byte each time. Together with the serial golden suite (shards=1,
+// j∈{1,4} via TestGoldenReports) and the full sweep above (shards=8, j=4),
+// this covers the shards {1,2,max} × workers {1,4} grid the parallel tick
+// loop promises. Every combination builds a fresh runner and pool — see
+// TestGoldenReportsShardedFullSweep for why sharing one would be vacuous.
+func TestGoldenReportsShardMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded QuickScale matrix; skipped in -short")
+	}
+	exps, err := Select([]string{"sched", "ddr5", "hbm2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := []struct{ shards, workers int }{
+		{2, 1},
+		{2, 4},
+		{8, 1},
+	}
+	for _, c := range combos {
+		t.Run(fmt.Sprintf("shards=%d/j=%d", c.shards, c.workers), func(t *testing.T) {
+			r := NewRunner(QuickScale(), Workers(c.workers), Shards(c.shards))
+			if err := r.Execute(PlanAll(r, exps)); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstGoldens(t, r, exps, t.Name())
+		})
+	}
+}

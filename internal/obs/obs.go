@@ -189,6 +189,27 @@ func (o *Observers) TakeSnapshot(cycle int64) {
 	}
 }
 
+// BeginTickWindow opens a parallel-tick staging window: until EndTickWindow,
+// tracer records route into per-channel staging buffers so the sharded tick
+// loop's channel goroutines never touch the shared ring. Telemetry needs no
+// staging — its counters are already indexed by channel, so concurrent
+// writers touch disjoint state. Nil-safe and a no-op without a tracer; the
+// sharded loop calls the pair once per DRAM tick.
+func (o *Observers) BeginTickWindow() {
+	if o != nil && o.tracer != nil {
+		o.tracer.StageWindow(true)
+	}
+}
+
+// EndTickWindow closes the staging window, merging staged tracer events into
+// the ring in fixed channel order — the order the serial loop records them,
+// since every in-window event is emitted by a channel's scheduling phase.
+func (o *Observers) EndTickWindow() {
+	if o != nil && o.tracer != nil {
+		o.tracer.DrainStaged()
+	}
+}
+
 // Finish flushes a trailing partial interval at the end of a run (no-op when
 // telemetry is disabled or the interval is empty).
 func (o *Observers) Finish(cycle int64) {

@@ -149,6 +149,9 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	if spec.TimeoutMS < 0 {
 		return nil, fmt.Errorf("%w: timeout_ms must be non-negative", ErrBadRequest)
 	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("%w: shards must be non-negative", ErrBadRequest)
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -290,6 +293,9 @@ func (s *Service) runJob(j *Job) {
 	}
 	if s.cfg.TelemetryInterval > 0 {
 		ropts = append(ropts, exp.Telemetry(s.cfg.TelemetryInterval))
+	}
+	if j.spec.Shards > 1 {
+		ropts = append(ropts, exp.Shards(j.spec.Shards))
 	}
 	runner := exp.NewRunner(s.cfg.Scale, ropts...)
 

@@ -1,0 +1,206 @@
+// Per-channel parallel DRAM tick. Channels are independent command/timing
+// domains; the only cross-channel interactions in a DRAM tick are the read
+// completions (which fill the shared LLC and can trigger writebacks to other
+// channels) and the shared observer sinks (tracer, oracle). The shard runner
+// splits each DRAM tick into two phases around those interaction points:
+//
+//	phase 1 (parallel)  — every channel pops its due completion events into
+//	                      a per-channel buffer and advances its device
+//	                      accounting (ctrl.TickEventsDeferred).
+//	barrier             — all phase-1 work visible to the coordinator.
+//	drain (serialized)  — the coordinator fires the buffered completions in
+//	                      fixed channel order (ctrl.CompleteDeferred), which
+//	                      is exactly the order the serial loop fires them.
+//	                      After channel ch drains, its phase 2 is released.
+//	phase 2 (parallel)  — each channel runs its scheduling half
+//	                      (ctrl.TickSchedule), staggered by the drain.
+//	barrier             — the tick ends once every channel's phase 2 is done;
+//	                      staged observer events drain in channel order.
+//
+// The staggered release is what makes the parallel run bit-equivalent to the
+// serial one: when the drain of channel i triggers a writeback to channel j,
+// the serial loop would observe j pre-Tick for j > i (j ticks after i) and
+// post-Tick for j < i (j already ticked). Phase 1 never touches the queues a
+// writeback enqueue inspects, so "after phase 1, before phase 2" is
+// indistinguishable from pre-Tick; for j < i the coordinator waits for j's
+// phase 2 (syncChannel) before enqueueing, reproducing the post-Tick state —
+// including the exact accept/reject decision at a full write queue.
+//
+// Every DRAM tick is a synchronization epoch, so stats snapshots, telemetry
+// cuts, and idle skipping — all of which run between ticks — observe the same
+// quiesced state as in a serial run, with happens-before established by the
+// epoch counters below.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crowdram/internal/ctrl"
+)
+
+// padCounter is an epoch counter on its own cache line, so workers spinning
+// on neighbouring counters do not false-share.
+type padCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardRunner coordinates the per-channel worker goroutines for one run.
+type shardRunner struct {
+	s        *System
+	channels int
+
+	// yield makes every wait loop defer to the scheduler immediately: with
+	// fewer procs than goroutines, pure spinning would burn whole scheduler
+	// timeslices per barrier.
+	yield bool
+
+	// epoch releases phase 1: workers run tick e once epoch reaches e.
+	// now carries the DRAM cycle of the current epoch (written by the
+	// coordinator before the release, read by workers after it).
+	epoch padCounter
+	now   int64
+
+	t1done  []padCounter // per worker: phase 1 complete for epoch e
+	t2start []padCounter // per channel: drain done, phase 2 may run
+	t2done  []padCounter // per channel: phase 2 complete
+
+	comps [][]*ctrl.Request // per channel: completions deferred in phase 1
+
+	// drainCh/active describe the drain position to syncChannel; both are
+	// only touched by the coordinating goroutine.
+	drainCh int
+	active  bool
+
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// newShardRunner starts workers for the system's channels, clamping the
+// shard count to the channel count and assigning each worker a contiguous
+// channel range.
+func newShardRunner(s *System, shards int) *shardRunner {
+	n := len(s.Ctrls)
+	if shards > n {
+		shards = n
+	}
+	r := &shardRunner{
+		s:        s,
+		channels: n,
+		yield:    runtime.GOMAXPROCS(0) <= shards,
+		t1done:   make([]padCounter, shards),
+		t2start:  make([]padCounter, n),
+		t2done:   make([]padCounter, n),
+		comps:    make([][]*ctrl.Request, n),
+	}
+	for w := 0; w < shards; w++ {
+		lo, hi := w*n/shards, (w+1)*n/shards
+		r.wg.Add(1)
+		go r.worker(w, lo, hi)
+	}
+	return r
+}
+
+// stop retires the workers. Callable only between ticks (workers are parked
+// waiting for the next epoch then).
+func (r *shardRunner) stop() {
+	r.stopped.Store(true)
+	r.wg.Wait()
+}
+
+// await blocks until the counter reaches target, returning false if the
+// runner stopped instead. Sub-microsecond waits resolve within the spin
+// budget; longer ones (the CPU phase, idle skips) yield.
+func (r *shardRunner) await(c *padCounter, target int64) bool {
+	for spins := 0; ; spins++ {
+		if c.v.Load() >= target {
+			return true
+		}
+		if r.stopped.Load() {
+			return false
+		}
+		if r.yield || spins > 256 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitCPU is await for the coordinating goroutine, which never stops
+// mid-tick.
+func (r *shardRunner) awaitCPU(c *padCounter, target int64) {
+	for spins := 0; c.v.Load() < target; spins++ {
+		if r.yield || spins > 256 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// worker advances channels [lo, hi) through both phases of every epoch.
+func (r *shardRunner) worker(w, lo, hi int) {
+	defer r.wg.Done()
+	for e := int64(1); ; e++ {
+		if !r.await(&r.epoch, e) {
+			return
+		}
+		now := r.now
+		for ch := lo; ch < hi; ch++ {
+			r.comps[ch] = r.s.Ctrls[ch].TickEventsDeferred(now, r.comps[ch][:0])
+		}
+		r.t1done[w].v.Store(e)
+		for ch := lo; ch < hi; ch++ {
+			if !r.await(&r.t2start[ch], e) {
+				return
+			}
+			if f := r.s.testSuppressT2; f == nil || !f(ch, now) {
+				r.s.Ctrls[ch].TickSchedule(now)
+			}
+			r.t2done[ch].v.Store(e)
+		}
+	}
+}
+
+// tickDram advances every channel by one DRAM cycle, equivalent to the
+// serial loop `for _, c := range s.Ctrls { c.Tick(now) }` byte for byte.
+func (r *shardRunner) tickDram(now int64) {
+	r.now = now
+	obs := r.s.Cfg.Obs
+	obs.BeginTickWindow()
+	if o := r.s.Oracle; o != nil {
+		o.BeginWindow()
+	}
+	e := r.epoch.v.Add(1)
+	for w := range r.t1done {
+		r.awaitCPU(&r.t1done[w], e)
+	}
+	r.active = true
+	for ch := 0; ch < r.channels; ch++ {
+		r.drainCh = ch
+		if len(r.comps[ch]) > 0 {
+			r.s.Ctrls[ch].CompleteDeferred(now, r.comps[ch])
+		}
+		r.t2start[ch].v.Store(e)
+	}
+	r.active = false
+	for ch := 0; ch < r.channels; ch++ {
+		r.awaitCPU(&r.t2done[ch], e)
+	}
+	if o := r.s.Oracle; o != nil {
+		o.EndWindow()
+	}
+	obs.EndTickWindow()
+}
+
+// syncChannel delays an enqueue onto ch until the channel is in its
+// serial-order state: during the drain, channels before the drain position
+// have had their phase 2 released and must finish it first (the serial loop
+// would have ticked them already); every other channel is safely between
+// phases. Outside a sharded drain this is a nil-receiver no-op, so the
+// serial enqueue path pays one comparison.
+func (r *shardRunner) syncChannel(ch int) {
+	if r == nil || !r.active || ch >= r.drainCh {
+		return
+	}
+	r.awaitCPU(&r.t2done[ch], r.epoch.v.Load())
+}

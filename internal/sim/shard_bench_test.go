@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/dram"
+	"crowdram/internal/trace"
+)
+
+// BenchmarkShardedSim measures the per-channel parallel tick loop's scaling
+// curve on an 8-channel HBM2 system: the same four-core run at shards 2, 4,
+// and 8 (one goroutine per channel), against two serial references —
+// "serial" (Shards=0, the pre-shard loop) and "shards=1" (the shard knob at
+// its no-op setting). On a machine with fewer cores than shards the barrier
+// waits serialize onto the scheduler and the curve is flat-to-negative; with
+// ≥8 hardware threads the parallel phases overlap. CI A/B-compares serial
+// vs shards=1, pinning that the shard plumbing (the nil-runner syncChannel
+// check on every enqueue) stays free on the serial path.
+func BenchmarkShardedSim(b *testing.B) {
+	std, err := dram.StandardByName("hbm2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := []string{"mcf", "lbm", "soplex", "omnetpp"}
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "serial" // Shards=0: the pre-shard serial loop, the A/B reference
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultFor(std, 8, dram.Density8Gb, 64)
+			cfg.WarmupInsts = 1_000
+			cfg.MeasureInsts = 10_000
+			cfg.Shards = shards
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gens := make([]trace.Generator, len(apps))
+				for j, name := range apps {
+					app, err := trace.ByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gens[j] = app.Gen(int64(j) + 1)
+				}
+				mech := core.NewCROW(cfg.Channels, cfg.Geo, cfg.T)
+				mech.Cache = true
+				res := New(cfg, mech, gens).Run()
+				if res.Ctrl.ReadsServed == 0 {
+					b.Fatal("run served no reads")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"crowdram/internal/core"
+	"crowdram/internal/obs"
+	"crowdram/internal/trace"
+)
+
+// shardGens builds one stateful generator per core; every run needs a fresh
+// set (generators advance as they are consumed).
+func shardGens(t *testing.T, seed int64, names ...string) []trace.Generator {
+	t.Helper()
+	gens := make([]trace.Generator, len(names))
+	for i, name := range names {
+		app, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[i] = app.Gen(seed + int64(i))
+	}
+	return gens
+}
+
+// runSharded executes one fresh system at the given shard count and returns
+// its result. Shards 0 takes the serial tick loop.
+func runSharded(t *testing.T, cfg Config, shards int, seed int64, apps ...string) Result {
+	t.Helper()
+	cfg.Shards = shards
+	mech := newVerifiedCROW(cfg)
+	mech.HammerThreshold = 512 // exercise the shared-counter remap path too
+	return New(cfg, mech, shardGens(t, seed, apps...)).Run()
+}
+
+// TestShardedRunMatchesSerial is the core determinism contract: the same
+// simulation advanced on 2, 4 (one goroutine per channel), or 16 (clamped)
+// shards produces a Result deeply equal to the serial run — every stat,
+// latency percentile, energy term, and oracle finding.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	cfg := verifyConfig(20_000)
+	apps := []string{"mcf", "lbm", "soplex", "omnetpp"}
+	serial := runSharded(t, cfg, 0, 1, apps...)
+	if serial.Verify.Total() != 0 {
+		t.Fatalf("serial reference run has oracle violations: %v", serial.Verify.Counts)
+	}
+	if serial.DRAM.ACTTwo == 0 {
+		t.Fatal("reference run exercised no ACT-t commands; comparison would be weak")
+	}
+	for _, shards := range []int{2, 4, 16} {
+		got := runSharded(t, cfg, shards, 1, apps...)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("shards=%d diverged from the serial run:\nserial: %+v\nsharded: %+v",
+				shards, serial, got)
+		}
+	}
+}
+
+// TestShardedObserversMatchSerial pins the deterministic-merge contract for
+// the observability layer: interval telemetry snapshots (which cut on epoch
+// boundaries) and the full traced event stream are identical between a
+// serial and a maximally sharded run.
+func TestShardedObserversMatchSerial(t *testing.T) {
+	collect := func(shards int) ([]obs.IntervalSnapshot, []obs.Event, Result) {
+		cfg := verifyConfig(20_000)
+		cfg.Shards = shards
+		var snaps []obs.IntervalSnapshot
+		bundle := &obs.Observers{
+			TraceCapacity: 1 << 20,
+			SnapshotEvery: 2_000,
+			OnSnapshot:    func(s obs.IntervalSnapshot) { snaps = append(snaps, s) },
+		}
+		cfg.Obs = bundle
+		mech := newVerifiedCROW(cfg)
+		res := New(cfg, mech, shardGens(t, 1, "mcf", "lbm", "soplex", "omnetpp")).Run()
+		var events []obs.Event
+		bundle.Tracer().Events(func(e obs.Event) { events = append(events, e) })
+		return snaps, events, res
+	}
+
+	snaps1, events1, res1 := collect(0)
+	snapsN, eventsN, resN := collect(4)
+	if len(events1) == 0 || len(snaps1) == 0 {
+		t.Fatalf("reference run observed nothing (events=%d snapshots=%d); comparison would be vacuous",
+			len(events1), len(snaps1))
+	}
+	if !reflect.DeepEqual(res1, resN) {
+		t.Errorf("results diverged between serial and sharded observed runs")
+	}
+	if !reflect.DeepEqual(snaps1, snapsN) {
+		t.Errorf("telemetry snapshot streams diverged: serial %d snapshots, sharded %d",
+			len(snaps1), len(snapsN))
+	}
+	if !reflect.DeepEqual(events1, eventsN) {
+		t.Errorf("traced event streams diverged: serial %d events, sharded %d",
+			len(events1), len(eventsN))
+	}
+}
+
+// TestShardedStress drives the parallel tick loop through many epochs with
+// every shared-state consumer enabled at once — oracle, tracer, telemetry,
+// RowHammer remaps — across skewed per-channel load (distinct apps per
+// core) and several seeds. Its job is to give `go test -race` surface area;
+// it stays cheap enough for the short suite, which is where CI's race job
+// runs it.
+func TestShardedStress(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		cfg := verifyConfig(6_000)
+		cfg.Shards = 4
+		var snaps int
+		cfg.Obs = &obs.Observers{
+			TraceCapacity: 1 << 16,
+			SnapshotEvery: 1_000,
+			OnSnapshot:    func(obs.IntervalSnapshot) { snaps++ },
+		}
+		mech := newVerifiedCROW(cfg)
+		mech.HammerThreshold = 256
+		res := New(cfg, mech, shardGens(t, seed, "mcf", "lbm", "gcc", "zeusmp")).Run()
+		if res.Verify.Total() != 0 {
+			t.Fatalf("seed %d: oracle violations under sharded stress: %v\nsamples: %v",
+				seed, res.Verify.Counts, res.Verify.Samples)
+		}
+		if snaps == 0 {
+			t.Fatalf("seed %d: no telemetry snapshots delivered", seed)
+		}
+	}
+}
+
+// TestShardedVerifyCatchesInjectedBugs re-runs the oracle's fault-injection
+// suite under the parallel tick loop: the injected table-coherence and
+// timing bugs must be caught at shards > 1, and the findings — counts and
+// sample order — must match the serial run exactly (the per-channel staging
+// drains violations in serial order).
+func TestShardedVerifyCatchesInjectedBugs(t *testing.T) {
+	run := func(shards int, evil func(cfg Config) core.Mechanism) Result {
+		cfg := verifyConfig(30_000)
+		cfg.Shards = shards
+		return New(cfg, evil(cfg), mcfGens(t, 1)).Run()
+	}
+	cases := []struct {
+		name  string
+		class string
+		evil  func(cfg Config) core.Mechanism
+	}{
+		{"corrupted-copy-row", "incoherent-pair", func(cfg Config) core.Mechanism {
+			return &evilCopyRow{Mechanism: newVerifiedCROW(cfg), ways: cfg.Geo.CopyRows}
+		}},
+		{"fast-partial-sensing", "fast-partial-sensing", func(cfg Config) core.Mechanism {
+			return &evilTiming{Mechanism: newVerifiedCROW(cfg), crow: cfg.T.CROW()}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := run(0, tc.evil)
+			sharded := run(2, tc.evil)
+			if sharded.Verify.Counts[tc.class] == 0 {
+				t.Fatalf("oracle missed the injected bug under sharding: %v", sharded.Verify.Counts)
+			}
+			if !reflect.DeepEqual(serial, sharded) {
+				t.Errorf("findings diverged between serial and sharded runs:\nserial: %+v\nsharded: %+v",
+					serial.Verify, sharded.Verify)
+			}
+		})
+	}
+}
+
+// TestShardedVerifyCatchesStalledChannel injects the barrier-class failure
+// the determinism harness exists to guard against — a channel silently not
+// advancing its scheduling phase — and proves the oracle still catches it
+// under parallelism: the stalled channel issues no refresh, so its rows blow
+// through the (deliberately shrunken) retention deadline at end of run.
+func TestShardedVerifyCatchesStalledChannel(t *testing.T) {
+	shrink := func() Config {
+		cfg := verifyConfig(50_000)
+		cfg.WarmupInsts = 0
+		// One REF covers a whole bank, so the retention deadline can
+		// shrink to a handful of REFI without starving the bus: healthy
+		// channels refresh every group each interval and stay clean.
+		cfg.T.RowsPerRef = cfg.Geo.RowsPerBank
+		cfg.T.RefWindow = int64(6 * cfg.T.REFI)
+		deadline := cfg.T.RefWindow + int64(2*cfg.T.REFI) + int64(cfg.T.RFC)
+		// Cap the run well past the deadline (CPU cycles run 5:2 against
+		// DRAM cycles on the default standard) so the stalled channel's
+		// staleness is visible at Finish even though the run truncates.
+		cfg.MaxMeasureCycles = deadline*4 + 100_000
+		return cfg
+	}
+
+	cfg := shrink()
+	cfg.Shards = 2
+	clean := New(cfg, newVerifiedCROW(cfg), shardGens(t, 1, "mcf", "lbm", "soplex", "omnetpp")).Run()
+	if clean.Verify.Total() != 0 {
+		t.Fatalf("shrunken refresh window alone must not violate: %v", clean.Verify.Counts)
+	}
+
+	cfg = shrink()
+	cfg.Shards = 2
+	s := New(cfg, newVerifiedCROW(cfg), shardGens(t, 1, "mcf", "lbm", "soplex", "omnetpp"))
+	s.testSuppressT2 = func(ch int, now int64) bool { return ch == 1 }
+	res := s.Run()
+	if !res.Truncated {
+		t.Fatal("run with a stalled channel should truncate at its cycle cap")
+	}
+	if res.Verify.Counts["refresh-deadline"] == 0 {
+		t.Fatalf("oracle missed the stalled channel: %v", res.Verify.Counts)
+	}
+	for _, sample := range res.Verify.Samples {
+		if len(sample) < 3 || sample[:3] != "ch1" {
+			t.Fatalf("violation attributed off the stalled channel: %q", sample)
+		}
+	}
+}
+
+// TestShardedSingleChannelFallsBack pins the degenerate shapes: a
+// single-channel system ignores the shard request (there is nothing to
+// parallelize) and still produces the serial result.
+func TestShardedSingleChannelFallsBack(t *testing.T) {
+	base := verifyConfig(10_000)
+	base.Channels = 1
+	serial := func() Result {
+		cfg := base
+		mech := newVerifiedCROW(cfg)
+		return New(cfg, mech, mcfGens(t, 1)).Run()
+	}()
+	cfg := base
+	cfg.Shards = 8
+	mech := newVerifiedCROW(cfg)
+	got := New(cfg, mech, mcfGens(t, 1)).Run()
+	if !reflect.DeepEqual(serial, got) {
+		t.Error("single-channel sharded run diverged from serial")
+	}
+}

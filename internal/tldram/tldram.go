@@ -7,6 +7,8 @@
 package tldram
 
 import (
+	"sync/atomic"
+
 	"crowdram/internal/circuit"
 	"crowdram/internal/core"
 	"crowdram/internal/dram"
@@ -95,16 +97,16 @@ func (m *Mechanism) OnActivate(a dram.Addr, d core.ActDecision, cycle int64) {
 	switch d.Kind {
 	case dram.ActSingle:
 		if d.Timing == m.near {
-			m.Stats.Hits++
+			atomic.AddInt64(&m.Stats.Hits, 1)
 			set[d.CopyRow].Touch(cycle)
 		} else {
-			m.Stats.Misses++
+			atomic.AddInt64(&m.Stats.Misses, 1)
 		}
 	case dram.ActCopy:
-		m.Stats.Misses++
-		m.Stats.Copies++
+		atomic.AddInt64(&m.Stats.Misses, 1)
+		atomic.AddInt64(&m.Stats.Copies, 1)
 		if set[d.CopyRow].Allocated {
-			m.Stats.Evictions++
+			atomic.AddInt64(&m.Stats.Evictions, 1)
 		}
 		set[d.CopyRow] = core.Entry{
 			Allocated:     true,
