@@ -45,6 +45,9 @@ func run() error {
 		verify  = flag.Bool("verify", false, "run the correctness oracle alongside every simulation; violations fail the run")
 		verbose = flag.Bool("v", false, "print progress per simulation run")
 
+		storeDir   = flag.String("store", "", "persist results to this directory; reruns at the same scale skip completed simulations (empty = memory only)")
+		storeMaxMB = flag.Int64("store-max-mb", 0, "on-disk cap for -store in MiB; least-recently-used results are evicted (0 = unbounded)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile of the sweep")
 		memProfile = flag.String("memprofile", "", "write a Go heap profile at exit")
 		execTrace  = flag.String("exectrace", "", "write a Go runtime execution trace")
@@ -92,6 +95,17 @@ func run() error {
 	}
 	if *verbose {
 		ropts = append(ropts, exp.Observe(progress))
+	}
+	if *storeDir != "" {
+		st, err := exp.OpenStore(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			return fmt.Errorf("open result store: %w", err)
+		}
+		if stats := st.Stats(); *verbose {
+			fmt.Fprintf(os.Stderr, "  [result store %s: %d results, %.1f MiB]\n",
+				*storeDir, stats.Files, float64(stats.Bytes)/(1<<20))
+		}
+		ropts = append(ropts, exp.Backed(st))
 	}
 	r := exp.NewRunner(scale, ropts...)
 
@@ -149,5 +163,7 @@ func progress(e engine.Event) {
 		fmt.Fprintf(os.Stderr, "  done  %s %s (%d pending)\n", e.Label, status, e.Pending)
 	case engine.EventCacheHit:
 		fmt.Fprintf(os.Stderr, "  hit   %s\n", e.Label)
+	case engine.EventStoreHit:
+		fmt.Fprintf(os.Stderr, "  store %s\n", e.Label)
 	}
 }

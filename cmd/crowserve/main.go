@@ -28,6 +28,8 @@ import (
 	"syscall"
 	"time"
 
+	"crowdram/crow"
+	"crowdram/internal/engine"
 	"crowdram/internal/exp"
 	"crowdram/internal/service"
 )
@@ -54,8 +56,24 @@ func run() error {
 		verify       = flag.Bool("verify", false, "run the correctness oracle alongside every simulation")
 		telemetry    = flag.Int64("telemetry-interval", 0, "stream per-bank interval telemetry every N DRAM cycles on job SSE streams (0 = off)")
 		enablePprof  = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
+		storeDir     = flag.String("store", "", "persist results to this directory; identical submissions survive restarts (empty = memory only)")
+		storeMaxMB   = flag.Int64("store-max-mb", 0, "on-disk cap for -store in MiB; least-recently-used results are evicted (0 = unbounded)")
+		retainJobs   = flag.Int("retain-jobs", 0, "finished jobs kept visible in the job table (0 = default 512, negative = unlimited)")
+		retainFor    = flag.Duration("retain-for", 0, "age after which finished jobs leave the job table (0 = no TTL)")
 	)
 	flag.Parse()
+
+	var backing engine.Backing[crow.Report]
+	if *storeDir != "" {
+		st, err := exp.OpenStore(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			return fmt.Errorf("open result store: %w", err)
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "crowserve: result store %s: %d results, %.1f MiB on disk\n",
+			*storeDir, stats.Files, float64(stats.Bytes)/(1<<20))
+		backing = st
+	}
 
 	svc := service.New(service.Config{
 		Scale:             exp.Scale{Insts: *insts, Warmup: *insts / 10, MixesPerGroup: *mixes, Seed: *seed},
@@ -66,6 +84,9 @@ func run() error {
 		JobTimeout:        *jobTimeout,
 		Verify:            *verify,
 		TelemetryInterval: *telemetry,
+		Backing:           backing,
+		RetainJobs:        *retainJobs,
+		RetainFor:         *retainFor,
 	})
 	handler := svc.Handler()
 	if *enablePprof {

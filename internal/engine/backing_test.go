@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mapBacking is an in-memory Backing for tests, with operation counters.
+type mapBacking struct {
+	mu         sync.Mutex
+	m          map[string]int
+	gets, puts atomic.Int64
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string]int)} }
+
+func (b *mapBacking) Get(key string) (int, bool) {
+	b.gets.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *mapBacking) Put(key string, val int) {
+	b.puts.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = val
+}
+
+// TestBackingWriteThenReadThrough: a successful execution populates the
+// backing tier, and a fresh pool (a "restarted process") serves the same key
+// from it without executing, counting a store hit and emitting a store-hit
+// event.
+func TestBackingWriteThenReadThrough(t *testing.T) {
+	b := newMapBacking()
+	p1 := New(2, WithBacking[int](b))
+	v, err := p1.Do(context.Background(), "k", "k", func(context.Context) (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Do = %d, %v", v, err)
+	}
+	if b.puts.Load() != 1 {
+		t.Fatalf("success must write behind: %d puts", b.puts.Load())
+	}
+
+	var events []Event
+	p2 := New(2, WithBacking[int](b), WithObserver[int](func(e Event) { events = append(events, e) }))
+	v, err = p2.Do(context.Background(), "k", "k", func(context.Context) (int, error) {
+		t.Error("backing hit must not execute")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("read-through Do = %d, %v", v, err)
+	}
+	s := p2.Snapshot()
+	if s.StoreHits != 1 || s.Executions != 0 || s.CacheHits != 0 {
+		t.Errorf("snapshot = %+v, want 1 store hit, 0 executions", s)
+	}
+	if s.Entries != 1 {
+		t.Errorf("store hit must memoize in memory: entries = %d", s.Entries)
+	}
+	if len(events) != 1 || events[0].Type != EventStoreHit {
+		t.Errorf("events = %+v, want exactly one store-hit", events)
+	}
+	if got := s.HitRatio(); got != 1 {
+		t.Errorf("HitRatio with only a store hit = %v, want 1", got)
+	}
+
+	// The second request on the same pool is an ordinary memo hit: the
+	// backing is not consulted again.
+	gets := b.gets.Load()
+	p2.Do(context.Background(), "k", "k", func(context.Context) (int, error) { return 0, nil })
+	if b.gets.Load() != gets {
+		t.Error("memoized key must not re-read the backing tier")
+	}
+}
+
+// TestBackingSingleflight: concurrent cold requests for one key coalesce
+// around a single backing read — and when it misses, a single execution.
+func TestBackingSingleflight(t *testing.T) {
+	b := newMapBacking()
+	p := New(4, WithBacking[int](b))
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := p.Do(context.Background(), "k", "k", func(context.Context) (int, error) {
+				execs.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Errorf("coalesced cold requests must execute once, got %d", n)
+	}
+	if n := b.gets.Load(); n != 1 {
+		t.Errorf("coalesced cold requests must read the backing once, got %d", n)
+	}
+}
+
+// TestBackingFailureNotStored: failed executions never reach the backing
+// tier.
+func TestBackingFailureNotStored(t *testing.T) {
+	b := newMapBacking()
+	p := New(1, WithBacking[int](b))
+	if _, err := p.Do(context.Background(), "k", "k", func(context.Context) (int, error) {
+		return 0, errors.New("boom")
+	}); err == nil {
+		t.Fatal("want error")
+	}
+	if b.puts.Load() != 0 {
+		t.Error("failures must not be persisted")
+	}
+}

@@ -39,6 +39,11 @@ const (
 	// (Progress carries the payload — e.g. an obs.IntervalSnapshot). Only
 	// executing jobs emit it; cache hits replay nothing.
 	EventProgress
+	// EventStoreHit fires when a request misses the in-memory memo but is
+	// satisfied by the pool's Backing tier (a persistent result store):
+	// nothing queues or executes, and the value is memoized for later
+	// callers.
+	EventStoreHit
 )
 
 // String names the event type.
@@ -54,6 +59,8 @@ func (t EventType) String() string {
 		return "cache-hit"
 	case EventProgress:
 		return "progress"
+	case EventStoreHit:
+		return "store-hit"
 	}
 	return fmt.Sprintf("event(%d)", int(t))
 }
@@ -94,19 +101,39 @@ type Snapshot struct {
 	// CacheHits counts requests satisfied by a memoized or coalesced
 	// in-flight execution instead of a fresh one.
 	CacheHits int64 `json:"cache_hits"`
+	// StoreHits counts requests that missed the in-memory memo but were
+	// satisfied by the Backing tier without executing.
+	StoreHits int64 `json:"store_hits"`
 	// Failures counts executions that returned an error (these entries
 	// are evicted, so a later request retries).
 	Failures int64 `json:"failures"`
 }
 
-// HitRatio returns CacheHits / (CacheHits + Executions), the fraction of
-// requests served without running a job function (0 when idle).
+// HitRatio returns (CacheHits + StoreHits) / (CacheHits + StoreHits +
+// Executions), the fraction of requests served without running a job
+// function (0 when idle).
 func (s Snapshot) HitRatio() float64 {
-	total := s.CacheHits + s.Executions
+	hits := s.CacheHits + s.StoreHits
+	total := hits + s.Executions
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(hits) / float64(total)
+}
+
+// Backing is a secondary result tier under the in-memory memo — typically a
+// persistent, content-addressed store (internal/store). On a memo miss the
+// pool consults Get before queueing the job for execution, and populates Put
+// after a successful execution. Implementations must be safe for concurrent
+// use; the pool holds no locks across calls. Results must be correct forever
+// for their key (true for deterministic, canonically-keyed simulations) —
+// the pool never invalidates a backing entry.
+type Backing[V any] interface {
+	// Get returns the stored value for key, if present and intact.
+	Get(key string) (V, bool)
+	// Put persists a successful result. Failures must be absorbed (they
+	// cost durability, not correctness), so Put returns nothing.
+	Put(key string, val V)
 }
 
 // Pool is a memoizing bounded worker pool. The zero value is not usable;
@@ -114,6 +141,7 @@ func (s Snapshot) HitRatio() float64 {
 type Pool[V any] struct {
 	workers int
 	timeout time.Duration
+	backing Backing[V]
 
 	slots chan struct{}
 
@@ -129,14 +157,19 @@ type Pool[V any] struct {
 	inflight   int
 	executions int64
 	cacheHits  int64
+	storeHits  int64
 	failures   int64
 }
 
 // entry is one memoized job: done closes when the result is available.
+// abandoned marks an entry whose owner gave up before executing (cancelled
+// while waiting for a worker slot); waiters observing it retry instead of
+// inheriting the owner's cancellation.
 type entry[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done      chan struct{}
+	val       V
+	err       error
+	abandoned bool
 }
 
 // Option configures a Pool.
@@ -152,6 +185,14 @@ func WithTimeout[V any](d time.Duration) Option[V] {
 // WithObserver attaches a structured progress observer.
 func WithObserver[V any](obs Observer) Option[V] {
 	return func(p *Pool[V]) { p.AddObserver(obs) }
+}
+
+// WithBacking attaches a secondary result tier: on a memo miss the pool
+// reads through to it before executing, and writes successful results back
+// to it. Singleflight is preserved around the backing read — concurrent cold
+// requests for one key still cost one Get and at most one execution.
+func WithBacking[V any](b Backing[V]) Option[V] {
+	return func(p *Pool[V]) { p.backing = b }
 }
 
 // New builds a pool running at most workers jobs concurrently.
@@ -203,6 +244,7 @@ func (p *Pool[V]) Snapshot() Snapshot {
 		Entries:    len(p.entries),
 		Executions: p.executions,
 		CacheHits:  p.cacheHits,
+		StoreHits:  p.storeHits,
 		Failures:   p.failures,
 	}
 }
@@ -226,33 +268,73 @@ func (p *Pool[V]) pendingCount() int {
 // in-flight execution with the same key. Concurrent calls with equal keys
 // coalesce: exactly one runs fn, the rest wait for its result. Execution is
 // bounded by the pool's worker count; ctx cancels waiting and (for
-// context-honoring fns) execution.
+// context-honoring fns) execution. With a Backing tier attached, a memo miss
+// reads through to it before executing and a successful execution writes
+// back to it.
 func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Context) (V, error)) (V, error) {
-	p.mu.Lock()
-	if e, ok := p.entries[key]; ok {
-		p.mu.Unlock()
-		select {
-		case <-e.done:
-			p.mu.Lock()
-			p.cacheHits++
+	for {
+		p.mu.Lock()
+		if e, ok := p.entries[key]; ok {
 			p.mu.Unlock()
-			p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount()})
-			return e.val, e.err
-		case <-ctx.Done():
-			var zero V
-			return zero, ctx.Err()
+			select {
+			case <-e.done:
+				if e.abandoned {
+					// The owner was cancelled before executing; its
+					// cancellation is not ours. Retry: the entry is
+					// already forgotten, so the next pass either
+					// becomes the new owner or coalesces onto one.
+					continue
+				}
+				p.mu.Lock()
+				p.cacheHits++
+				p.mu.Unlock()
+				p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount()})
+				return e.val, e.err
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+		}
+		e := &entry[V]{done: make(chan struct{})}
+		p.entries[key] = e
+		p.pending++
+		p.queued++
+		p.mu.Unlock()
+		return p.execute(ctx, key, label, e, fn)
+	}
+}
+
+// execute owns a freshly-created entry: consult the backing tier, then run
+// fn under a worker slot and publish the result.
+func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], fn func(context.Context) (V, error)) (V, error) {
+	// Read-through: a backing hit completes the entry without queueing or
+	// executing. Coalesced callers arriving during the read wait on e.done
+	// as usual, so one Get serves them all.
+	if p.backing != nil {
+		if v, ok := p.backing.Get(key); ok {
+			p.mu.Lock()
+			e.val = v
+			p.pending--
+			p.queued--
+			p.storeHits++
+			p.mu.Unlock()
+			close(e.done)
+			p.emit(Event{Type: EventStoreHit, Key: key, Label: label, Pending: p.pendingCount()})
+			return v, nil
 		}
 	}
-	e := &entry[V]{done: make(chan struct{})}
-	p.entries[key] = e
-	p.pending++
-	p.queued++
-	p.mu.Unlock()
 
 	p.emit(Event{Type: EventQueued, Key: key, Label: label, Pending: p.pendingCount()})
 
 	// Acquire a worker slot (or give up on cancellation: forget the
-	// entry so a later call can retry).
+	// entry so a later call can retry). An already-expired context must
+	// never execute — with a free slot, select would pick a ready case at
+	// random — so it is checked first.
+	if err := ctx.Err(); err != nil {
+		p.abandon(key, e, err)
+		var zero V
+		return zero, err
+	}
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -291,6 +373,13 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 	p.mu.Unlock()
 	close(e.done)
 
+	// Write-behind: persist after the result is published, so coalesced
+	// waiters never wait on the disk. The executing caller absorbs the
+	// write, which keeps "job done" ⇒ "result durable" for its submitter.
+	if err == nil && p.backing != nil {
+		p.backing.Put(key, val)
+	}
+
 	p.emit(Event{Type: EventFinished, Key: key, Label: label, Duration: dur, Err: err, Pending: p.pendingCount()})
 	return val, err
 }
@@ -303,11 +392,15 @@ func (p *Pool[V]) Progress(key, label string, payload any) {
 	p.emit(Event{Type: EventProgress, Key: key, Label: label, Progress: payload, Pending: p.pendingCount()})
 }
 
-// abandon removes a never-started entry and wakes any coalesced waiters
-// with the cancellation error.
+// abandon removes a never-started entry and wakes any coalesced waiters.
+// The waiters' own contexts may be perfectly live, so the entry is marked
+// abandoned rather than completed with the owner's cancellation error: Do's
+// wait path detects the mark and retries, and the first retrier becomes the
+// new owner.
 func (p *Pool[V]) abandon(key string, e *entry[V], err error) {
 	p.mu.Lock()
 	e.err = err
+	e.abandoned = true
 	p.pending--
 	p.queued--
 	delete(p.entries, key)

@@ -25,8 +25,25 @@ import (
 	"crowdram/internal/engine"
 	"crowdram/internal/metrics"
 	"crowdram/internal/obs"
+	"crowdram/internal/store"
 	"crowdram/internal/trace"
 )
+
+// ReportSchema names the store schema under which runner results persist. A
+// bump invalidates (as a miss, not an error) every result saved under the
+// old schema.
+const ReportSchema = "crow.Report/v1"
+
+// OpenStore opens (or creates) the persistent result store that crowserve
+// and crowbench mount via their -store flag. maxBytes > 0 caps the on-disk
+// footprint (LRU eviction); 0 means unbounded.
+func OpenStore(dir string, maxBytes int64) (*store.Store[crow.Report], error) {
+	var opts []store.Option
+	if maxBytes > 0 {
+		opts = append(opts, store.MaxBytes(maxBytes))
+	}
+	return store.Open[crow.Report](dir, ReportSchema, opts...)
+}
 
 // Scale controls simulation effort. The paper simulates 200 M instructions
 // per core over 20 mixes per group; the defaults here are sized to finish in
@@ -122,6 +139,7 @@ type runnerConfig struct {
 	telemetry int64
 	shards    int
 	pool      *engine.Pool[crow.Report]
+	backing   engine.Backing[crow.Report]
 	run       func(context.Context, crow.Options) (crow.Report, error)
 }
 
@@ -176,6 +194,14 @@ func UsePool(p *engine.Pool[crow.Report]) RunnerOption {
 	return func(c *runnerConfig) { c.pool = p }
 }
 
+// Backed attaches a persistent result tier (typically the disk store from
+// OpenStore) to the pool the Runner constructs: misses consult it before
+// executing, successes populate it. Ignored with UsePool — a shared pool's
+// backing is configured where the pool is built.
+func Backed(b engine.Backing[crow.Report]) RunnerOption {
+	return func(c *runnerConfig) { c.backing = b }
+}
+
 // RunWith substitutes the function that executes one simulation (default
 // crow.RunContext). Tests use it to inject context-aware hooks — e.g. a run
 // that blocks until cancelled — without paying for real simulations; the
@@ -196,6 +222,9 @@ func NewRunner(s Scale, opts ...RunnerOption) *Runner {
 		var popts []engine.Option[crow.Report]
 		if cfg.timeout > 0 {
 			popts = append(popts, engine.WithTimeout[crow.Report](cfg.timeout))
+		}
+		if cfg.backing != nil {
+			popts = append(popts, engine.WithBacking(cfg.backing))
 		}
 		pool = engine.New(cfg.workers, popts...)
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -67,6 +68,55 @@ func BenchmarkWarmCacheSubmissions(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 	if snap := s.EngineSnapshot(); snap.Executions != 1 {
 		b.Fatalf("warm-cache bench executed %d simulations, want 1", snap.Executions)
+	}
+}
+
+// BenchmarkWarmFromStoreSubmissions measures submit→done round trips per
+// second when every job is a persistent-store hit: each iteration uses a
+// distinct key (varied seed) preloaded on disk before the timer, so the
+// engine memo never helps and every job pays one store read + envelope
+// verification. The delta against BenchmarkWarmCacheSubmissions is the cost
+// of the disk tier.
+func BenchmarkWarmFromStoreSubmissions(b *testing.B) {
+	st, err := exp.OpenStore(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var execs int64
+	s := New(Config{
+		Scale:   exp.QuickScale(),
+		Workers: 4,
+		Backing: st,
+		Run: func(_ context.Context, o crow.Options) (crow.Report, error) {
+			execs++
+			return crow.Report{IPC: make([]float64, len(o.Workloads))}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	keyer := exp.NewRunner(exp.QuickScale())
+	rep := crow.Report{Mechanism: crow.Cache, IPC: []float64{1}, MPKI: []float64{10}}
+	for i := 0; i < b.N; i++ {
+		st.Put(keyer.KeyOf(crow.Options{
+			Mechanism: crow.Cache, Workloads: []string{"gcc"}, Seed: int64(i + 2),
+		}), rep)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"options": {"Mechanism": "crow-cache", "Workloads": ["gcc"], "Seed": %d}}`, i+2)
+		benchSubmitWait(b, ts, body)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	snap := s.EngineSnapshot()
+	if execs != 0 || snap.Executions != 0 || snap.StoreHits != int64(b.N) {
+		b.Fatalf("store-warm bench: %d hook execs, engine %+v, want 0 executions and %d store hits",
+			execs, snap, b.N)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crowdram/internal/metrics"
+	"crowdram/internal/store"
 )
 
 // Handler returns the service's HTTP/JSON API:
@@ -175,12 +176,17 @@ type Metrics struct {
 		Entries    int     `json:"entries"`
 		Executions int64   `json:"executions"`
 		CacheHits  int64   `json:"cache_hits"`
+		StoreHits  int64   `json:"store_hits"`
 		Failures   int64   `json:"failures"`
 		HitRatio   float64 `json:"hit_ratio"`
 	} `json:"engine"`
 	EngineWorkers int              `json:"engine_workers"`
 	Jobs          map[State]int    `json:"jobs"`
 	HTTP          map[string]Stats `json:"http"`
+	// Store is the persistent result store's footprint and counters, when
+	// the service runs with one whose Backing implementation exposes
+	// store.Stats (the disk store does).
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Metrics assembles the current metrics document.
@@ -197,8 +203,13 @@ func (s *Service) Metrics() Metrics {
 	m.Engine.Entries = es.Entries
 	m.Engine.Executions = es.Executions
 	m.Engine.CacheHits = es.CacheHits
+	m.Engine.StoreHits = es.StoreHits
 	m.Engine.Failures = es.Failures
 	m.Engine.HitRatio = es.HitRatio()
+	if st, ok := s.cfg.Backing.(interface{ Stats() store.Stats }); ok {
+		stats := st.Stats()
+		m.Store = &stats
+	}
 	m.EngineWorkers = s.pool.Workers()
 	if m.EngineWorkers == 0 {
 		m.EngineWorkers = runtime.GOMAXPROCS(0)

@@ -44,8 +44,10 @@ type Spec struct {
 	// Priority orders admission: higher runs first, FIFO within a
 	// priority. Default 0.
 	Priority int `json:"priority,omitempty"`
-	// TimeoutMS bounds the job's total wall-clock time (0 = the
-	// service default).
+	// TimeoutMS bounds the job's total wall-clock time, measured from
+	// admission — queue wait counts against it, so a job that spends its
+	// whole budget queued fails with a deadline error without executing
+	// (0 = the service default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Shards, when above 1, advances each simulation's channels on up to
 	// that many goroutines between synchronization epochs. Results are

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// manualCtx is a bare context.Context implementation. Deriving a child from
+// it forces the context package onto its slow path — a propagation goroutine
+// per child instead of an entry in the parent's internal child list — which
+// makes a leaked child registration observable as a leaked goroutine.
+type manualCtx struct{ done chan struct{} }
+
+func (c *manualCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *manualCtx) Done() <-chan struct{}       { return c.done }
+func (c *manualCtx) Value(any) any               { return nil }
+func (c *manualCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// TestJobContextNoLeak is the regression test for the runJob context leak:
+// the historical code created a WithCancel child of the service-lifetime
+// base context and then, for timed jobs, overwrote both ctx and cancel with
+// a WithTimeout pair — discarding the first cancel func, so one child
+// registration (here: one propagation goroutine) accumulated on the base
+// context per timed job for the life of the server. jobContext creates
+// exactly one context; cancelling it must release everything.
+func TestJobContextNoLeak(t *testing.T) {
+	parent := &manualCtx{done: make(chan struct{})}
+	defer close(parent.done)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 50; i++ {
+		// Both branches: the timed path (the one that leaked) and the
+		// plain-cancel path.
+		ctx, cancel := jobContext(parent, time.Now(), time.Minute)
+		cancel()
+		<-ctx.Done()
+		ctx, cancel = jobContext(parent, time.Now(), 0)
+		cancel()
+		<-ctx.Done()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 { // scheduling slack
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cancelled job contexts leaked goroutines: %d before, %d after",
+		before, runtime.NumGoroutine())
+}
+
+// TestJobContextDeadlineAnchoredAtAdmission pins the timeout semantics the
+// Spec documents: the deadline is submitted+timeout, not started+timeout.
+func TestJobContextDeadlineAnchoredAtAdmission(t *testing.T) {
+	submitted := time.Now().Add(-30 * time.Second)
+	ctx, cancel := jobContext(context.Background(), submitted, time.Minute)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("timed job context must carry a deadline")
+	}
+	if want := submitted.Add(time.Minute); !dl.Equal(want) {
+		t.Errorf("deadline = %v, want admission+timeout = %v", dl, want)
+	}
+	ctx, cancel = jobContext(context.Background(), submitted, 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("untimed job context must carry no deadline")
+	}
+}
+
+// TestTimeoutCountsQueueWait: a job whose TimeoutMS budget is consumed
+// entirely by queue wait fails with a deadline error and never executes —
+// TimeoutMS bounds total wall-clock time from admission.
+func TestTimeoutCountsQueueWait(t *testing.T) {
+	hook := newTestHook(true)
+	_, ts := newTestService(t, Config{Run: hook.run, Workers: 1})
+	blocker, _ := postJob(t, ts, mcfCache)
+	waitState(t, ts, blocker.ID, StateRunning)
+
+	queued, _ := postJob(t, ts, `{"options": {"Workloads": ["lbm"]}, "timeout_ms": 60}`)
+	time.Sleep(120 * time.Millisecond) // burn the whole budget in the queue
+	hook.release("mcf")
+
+	got := waitState(t, ts, queued.ID, StateFailed)
+	if !strings.Contains(got.Error, "deadline") {
+		t.Errorf("expired-in-queue job error = %q, want deadline mention", got.Error)
+	}
+	waitState(t, ts, blocker.ID, StateDone)
+	if n := hook.execs.Load(); n != 1 {
+		t.Errorf("job expired in the queue must never execute: %d executions, want 1 (the blocker)", n)
+	}
+}
+
+// waitGone polls until GET on the job returns 404 (retention evicted it).
+func waitGone(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s was never evicted", id)
+}
+
+// TestTerminalJobRetention: with RetainJobs = 2, the oldest terminal jobs
+// are evicted from the job table and GET on an evicted ID returns 404.
+func TestTerminalJobRetention(t *testing.T) {
+	hook := newTestHook(false)
+	_, ts := newTestService(t, Config{Run: hook.run, Workers: 1, RetainJobs: 2})
+	ids := make([]string, 4)
+	for i := range ids {
+		body := fmt.Sprintf(`{"options": {"Workloads": ["mcf"], "Seed": %d}}`, i+2)
+		st, resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, resp.StatusCode)
+		}
+		ids[i] = st.ID
+		waitState(t, ts, st.ID, StateDone)
+	}
+	waitGone(t, ts, ids[0])
+	waitGone(t, ts, ids[1])
+	for _, id := range ids[2:] {
+		if st := getStatus(t, ts, id); st.State != StateDone {
+			t.Errorf("retained job %s = %q, want done", id, st.State)
+		}
+	}
+}
+
+// TestRetentionSparesLiveJobs: queued and running jobs are never evicted,
+// no matter how tight the retention bound.
+func TestRetentionSparesLiveJobs(t *testing.T) {
+	hook := newTestHook(true)
+	_, ts := newTestService(t, Config{Run: hook.run, Workers: 1, RetainJobs: 1})
+	// Two terminal jobs, so the retention bound (1) is exceeded.
+	a, _ := postJob(t, ts, mcfCache)
+	hook.release("mcf")
+	waitState(t, ts, a.ID, StateDone)
+	b, _ := postJob(t, ts, `{"options": {"Workloads": ["lbm"]}}`)
+	hook.release("lbm")
+	waitState(t, ts, b.ID, StateDone)
+	// One running, one queued behind it.
+	running, _ := postJob(t, ts, `{"options": {"Workloads": ["gcc"]}}`)
+	waitState(t, ts, running.ID, StateRunning)
+	queued, _ := postJob(t, ts, `{"options": {"Workloads": ["soplex"]}}`)
+
+	waitGone(t, ts, a.ID) // oldest terminal job: evicted
+	if st := getStatus(t, ts, b.ID); st.State != StateDone {
+		t.Errorf("newest terminal job must be retained, got %q", st.State)
+	}
+	if st := getStatus(t, ts, running.ID); st.State != StateRunning {
+		t.Errorf("running job must never be evicted, got %q", st.State)
+	}
+	if st := getStatus(t, ts, queued.ID); st.State != StateQueued {
+		t.Errorf("queued job must never be evicted, got %q", st.State)
+	}
+	hook.release("gcc")
+	hook.release("soplex")
+	waitState(t, ts, queued.ID, StateDone)
+}
+
+// TestRetentionTTL: terminal jobs age out after RetainFor even when the
+// count bound would keep them; the sweep runs on the next submission.
+func TestRetentionTTL(t *testing.T) {
+	hook := newTestHook(false)
+	_, ts := newTestService(t, Config{Run: hook.run, RetainJobs: -1, RetainFor: 40 * time.Millisecond})
+	a, _ := postJob(t, ts, mcfCache)
+	waitState(t, ts, a.ID, StateDone)
+	time.Sleep(80 * time.Millisecond) // let the TTL lapse
+
+	b, _ := postJob(t, ts, `{"options": {"Workloads": ["lbm"]}}`) // triggers the sweep
+	waitGone(t, ts, a.ID)
+	waitState(t, ts, b.ID, StateDone)
+}

@@ -42,8 +42,20 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	g("crowserve_engine_cache_entries", "Memoized (completed or in-flight) simulation results.", m.Engine.Entries)
 	c("crowserve_engine_executions_total", "Simulation functions actually invoked (cache misses).", m.Engine.Executions)
 	c("crowserve_engine_cache_hits_total", "Requests served from the memo cache or a coalesced in-flight run.", m.Engine.CacheHits)
+	c("crowserve_engine_store_hits_total", "Requests served from the persistent result store without executing.", m.Engine.StoreHits)
 	c("crowserve_engine_failures_total", "Simulation executions that returned an error.", m.Engine.Failures)
-	g("crowserve_engine_cache_hit_ratio", "cache_hits / (cache_hits + executions).", m.Engine.HitRatio)
+	g("crowserve_engine_cache_hit_ratio", "(cache_hits + store_hits) / (cache_hits + store_hits + executions).", m.Engine.HitRatio)
+
+	if m.Store != nil {
+		g("crowserve_store_files", "Results in the persistent store.", m.Store.Files)
+		g("crowserve_store_bytes", "On-disk footprint of the persistent store.", m.Store.Bytes)
+		c("crowserve_store_hits_total", "Store reads that returned an intact result.", m.Store.Hits)
+		c("crowserve_store_misses_total", "Store reads that found nothing usable.", m.Store.Misses)
+		c("crowserve_store_corrupt_total", "Store files that failed the envelope check and were deleted.", m.Store.Corrupt)
+		c("crowserve_store_writes_total", "Results persisted to the store.", m.Store.Writes)
+		c("crowserve_store_evictions_total", "Files removed by the LRU byte-cap GC.", m.Store.Evictions)
+		c("crowserve_store_errors_total", "Store I/O failures (durability lost, correctness kept).", m.Store.Errors)
+	}
 
 	fmt.Fprintf(w, "# HELP crowserve_jobs Jobs by lifecycle state.\n# TYPE crowserve_jobs gauge\n")
 	states := make([]string, 0, len(m.Jobs))

@@ -10,6 +10,7 @@ import (
 
 	"crowdram/crow"
 	"crowdram/internal/obs"
+	"crowdram/internal/store"
 )
 
 // fixedMetrics builds a fully-populated Metrics value with deterministic
@@ -26,9 +27,11 @@ func fixedMetrics() Metrics {
 	m.Engine.Entries = 9
 	m.Engine.Executions = 7
 	m.Engine.CacheHits = 5
+	m.Engine.StoreHits = 3
 	m.Engine.Failures = 1
 	m.Engine.HitRatio = 0.4
 	m.EngineWorkers = 8
+	m.Store = &store.Stats{Files: 12, Bytes: 4096, Hits: 3, Misses: 7, Corrupt: 1, Writes: 6, Evictions: 2, Errors: 0}
 	m.Jobs = map[State]int{StateDone: 4, StateFailed: 1, StateRunning: 2}
 	m.HTTP = map[string]Stats{
 		"POST /v1/jobs": {Count: 10, MeanMS: 1.5, P50MS: 1, P99MS: 4, MaxMS: 5},
@@ -72,12 +75,39 @@ crowserve_engine_executions_total 7
 # HELP crowserve_engine_cache_hits_total Requests served from the memo cache or a coalesced in-flight run.
 # TYPE crowserve_engine_cache_hits_total counter
 crowserve_engine_cache_hits_total 5
+# HELP crowserve_engine_store_hits_total Requests served from the persistent result store without executing.
+# TYPE crowserve_engine_store_hits_total counter
+crowserve_engine_store_hits_total 3
 # HELP crowserve_engine_failures_total Simulation executions that returned an error.
 # TYPE crowserve_engine_failures_total counter
 crowserve_engine_failures_total 1
-# HELP crowserve_engine_cache_hit_ratio cache_hits / (cache_hits + executions).
+# HELP crowserve_engine_cache_hit_ratio (cache_hits + store_hits) / (cache_hits + store_hits + executions).
 # TYPE crowserve_engine_cache_hit_ratio gauge
 crowserve_engine_cache_hit_ratio 0.4
+# HELP crowserve_store_files Results in the persistent store.
+# TYPE crowserve_store_files gauge
+crowserve_store_files 12
+# HELP crowserve_store_bytes On-disk footprint of the persistent store.
+# TYPE crowserve_store_bytes gauge
+crowserve_store_bytes 4096
+# HELP crowserve_store_hits_total Store reads that returned an intact result.
+# TYPE crowserve_store_hits_total counter
+crowserve_store_hits_total 3
+# HELP crowserve_store_misses_total Store reads that found nothing usable.
+# TYPE crowserve_store_misses_total counter
+crowserve_store_misses_total 7
+# HELP crowserve_store_corrupt_total Store files that failed the envelope check and were deleted.
+# TYPE crowserve_store_corrupt_total counter
+crowserve_store_corrupt_total 1
+# HELP crowserve_store_writes_total Results persisted to the store.
+# TYPE crowserve_store_writes_total counter
+crowserve_store_writes_total 6
+# HELP crowserve_store_evictions_total Files removed by the LRU byte-cap GC.
+# TYPE crowserve_store_evictions_total counter
+crowserve_store_evictions_total 2
+# HELP crowserve_store_errors_total Store I/O failures (durability lost, correctness kept).
+# TYPE crowserve_store_errors_total counter
+crowserve_store_errors_total 0
 # HELP crowserve_jobs Jobs by lifecycle state.
 # TYPE crowserve_jobs gauge
 crowserve_jobs{state="done"} 4

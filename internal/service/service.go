@@ -46,8 +46,26 @@ type Config struct {
 	// RunTimeout bounds each simulation (engine-level; 0 = none).
 	RunTimeout time.Duration
 	// JobTimeout is the default per-job deadline (0 = none); a Spec's
-	// TimeoutMS overrides it per job.
+	// TimeoutMS overrides it per job. Like TimeoutMS, the deadline is
+	// anchored at admission, so it bounds total wall-clock time including
+	// queue wait.
 	JobTimeout time.Duration
+	// Backing is an optional persistent result tier under the engine's
+	// in-memory memo (typically a *store.Store[crow.Report]): consulted on
+	// memo miss before executing, populated on success. A backing hit
+	// surfaces as a "store-hit" run event and in /metrics. Because results
+	// are keyed by the canonical run key, a store directory outlives
+	// restarts — warm traffic survives them.
+	Backing engine.Backing[crow.Report]
+	// RetainJobs bounds how many terminal jobs stay queryable: once more
+	// than this many jobs are done/failed/cancelled, the oldest are
+	// evicted from the job table (GET returns 404). Queued and running
+	// jobs are never evicted. 0 selects the default (512); negative means
+	// unlimited.
+	RetainJobs int
+	// RetainFor additionally evicts terminal jobs older than this TTL
+	// (measured from their finish time). 0 (the default) disables the TTL.
+	RetainFor time.Duration
 	// Verify attaches the correctness oracle to every run.
 	Verify bool
 	// TelemetryInterval, when positive, attaches interval telemetry
@@ -69,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 512
 	}
 	if c.Run == nil {
 		c.Run = crow.RunContext
@@ -103,6 +124,9 @@ func New(cfg Config) *Service {
 	var popts []engine.Option[crow.Report]
 	if cfg.RunTimeout > 0 {
 		popts = append(popts, engine.WithTimeout[crow.Report](cfg.RunTimeout))
+	}
+	if cfg.Backing != nil {
+		popts = append(popts, engine.WithBacking[crow.Report](cfg.Backing))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
@@ -153,6 +177,7 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("%w: shards must be non-negative", ErrBadRequest)
 	}
 
+	s.pruneJobs()
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
@@ -209,12 +234,57 @@ func (s *Service) Cancel(id string) (*Job, error) {
 	j.mu.Unlock()
 	if s.queue.Remove(j) {
 		j.setState(StateCancelled, "cancelled while queued")
+		s.pruneJobs()
 		return j, nil
 	}
 	if cancel != nil {
 		cancel()
 	}
 	return j, nil
+}
+
+// pruneJobs applies the terminal-job retention policy: terminal jobs beyond
+// the RetainJobs count (newest kept) or older than the RetainFor TTL are
+// evicted from the job table, so a long-running server's memory stays
+// bounded no matter how many jobs it has served. Queued and running jobs are
+// never candidates. Runs after every terminal transition and on submission
+// (the latter catches TTL expiry during quiet stretches of the job table).
+func (s *Service) pruneJobs() {
+	retain, ttl := s.cfg.RetainJobs, s.cfg.RetainFor
+	if retain < 0 && ttl <= 0 {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Fast path: without a TTL, scan only once the table exceeds the count
+	// bound by 25% — the batch eviction then amortizes the O(table) scan to
+	// O(1) per job, keeping prune cost off the submit/completion hot path.
+	if ttl <= 0 && len(s.jobs) <= retain+retain/4 {
+		return
+	}
+	var terminal []*Job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		isTerminal, finished := j.state.Terminal(), j.finished
+		j.mu.Unlock()
+		if !isTerminal {
+			continue
+		}
+		if ttl > 0 && now.Sub(finished) > ttl {
+			delete(s.jobs, j.ID)
+			continue
+		}
+		terminal = append(terminal, j)
+	}
+	if retain >= 0 && len(terminal) > retain {
+		// seq is assigned at submission and immutable, so it orders
+		// eviction oldest-first without taking job locks again.
+		sort.Slice(terminal, func(a, b int) bool { return terminal[a].seq > terminal[b].seq })
+		for _, j := range terminal[retain:] {
+			delete(s.jobs, j.ID)
+		}
+	}
 }
 
 // Drain stops admission (new submissions fail with ErrDraining), lets
@@ -259,8 +329,24 @@ func (s *Service) worker() {
 	}
 }
 
+// jobContext derives the single context a job runs under. A positive
+// timeout becomes a deadline anchored at the job's admission time, so the
+// timeout bounds total wall-clock time — queue wait included — as the Spec
+// documents. Exactly one context is created either way and the caller always
+// runs its cancel: the historical version created a WithCancel context and
+// then overwrote it with a WithTimeout one for timed jobs, discarding the
+// first cancel func and leaking a child registration on the service-lifetime
+// base context per timed job.
+func jobContext(base context.Context, submitted time.Time, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithDeadline(base, submitted.Add(timeout))
+	}
+	return context.WithCancel(base)
+}
+
 // runJob executes one admitted job end to end.
 func (s *Service) runJob(j *Job) {
+	defer s.pruneJobs()
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled between Pop and here
 		j.mu.Unlock()
@@ -270,10 +356,7 @@ func (s *Service) runJob(j *Job) {
 	if j.spec.TimeoutMS > 0 {
 		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
-	}
+	ctx, cancel := jobContext(s.baseCtx, j.submitted, timeout)
 	j.cancel = cancel
 	alreadyCancelled := j.cancelRequested
 	j.mu.Unlock()
