@@ -44,36 +44,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	fs := flag.NewFlagSet("crowsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mech     = fs.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
-		standard = fs.String("standard", "lpddr4", "memory standard: "+strings.Join(crow.Standards(), ", "))
-		sched    = fs.String("sched", "", "controller scheduler: "+strings.Join(crow.Schedulers(), ", ")+" (default frfcfs-cap)")
-		rowPol   = fs.String("rowpolicy", "", "row-buffer policy: "+strings.Join(crow.RowPolicies(), ", ")+" (default timeout)")
-		mapping  = fs.String("mapping", "", "address mapping: "+strings.Join(crow.Mappings(), ", ")+" (default robarococh)")
-		loads    = fs.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
-		traces   = fs.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
-		copyRows = fs.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
-		density  = fs.Int("density", 8, "DRAM chip density in Gbit: 8, 16, 32, 64")
-		llcMiB   = fs.Int("llc", 8, "LLC capacity in MiB")
-		insts    = fs.Int64("insts", 500_000, "measured instructions per core")
-		warmup   = fs.Int64("warmup", 0, "warmup instructions per core (default insts/10)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		prefetch = fs.Bool("prefetch", false, "enable the stride prefetcher")
-		tlNear   = fs.Int("tl-near", 8, "TL-DRAM near-segment rows")
-		salpSub  = fs.Int("salp", 128, "SALP subarrays per bank")
-		salpOpen = fs.Bool("salp-open", false, "SALP open-page policy")
-		hammerT  = fs.Int("hammer-threshold", 2048, "RowHammer detection threshold")
-		share    = fs.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
-		perBank  = fs.Bool("refpb", false, "use LPDDR4 per-bank refresh")
-		postpone = fs.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
-		verify   = fs.Bool("verify", false, "run the correctness oracle alongside the simulation and report violations")
-		compare  = fs.Bool("compare", false, "also run the baseline and report speedup/energy savings")
-		jobs     = fs.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
-		shards   = fs.Int("shards", 1, "goroutines advancing the simulated channels within one run (results are byte-identical at any value)")
-		timeout  = fs.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
-		verbose  = fs.Bool("v", false, "print progress per simulation run")
-		asJSON   = fs.Bool("json", false, "emit the report as JSON")
-		list     = fs.Bool("list", false, "list available workloads and exit")
-		listStds = fs.Bool("list-standards", false, "list registered standards, schedulers, row policies and mappings, then exit")
+		mech      = fs.String("mech", "baseline", "mechanism: baseline, crow-cache, crow-ref, crow-cache+ref, crow-hammer, ideal-cache, ideal-norefresh, tl-dram, salp, raidr, chargecache")
+		standard  = fs.String("standard", "lpddr4", "memory standard: "+strings.Join(crow.Standards(), ", "))
+		sched     = fs.String("sched", "", "controller scheduler: "+strings.Join(crow.Schedulers(), ", ")+" (default frfcfs-cap)")
+		rowPol    = fs.String("rowpolicy", "", "row-buffer policy: "+strings.Join(crow.RowPolicies(), ", ")+" (default timeout)")
+		mapping   = fs.String("mapping", "", "address mapping: "+strings.Join(crow.Mappings(), ", ")+" (default robarococh)")
+		loads     = fs.String("workloads", "mcf", "comma-separated workload names, one per core (1-4)")
+		traces    = fs.String("traces", "", "comma-separated trace files (tracegen format), one per core; overrides -workloads")
+		copyRows  = fs.Int("copyrows", 8, "copy rows per subarray (CROW-n)")
+		density   = fs.Int("density", 8, "DRAM chip density in Gbit: 8, 16, 32, 64")
+		llcMiB    = fs.Int("llc", 8, "LLC capacity in MiB")
+		llcKiB    = fs.Int("llc-kib", 0, "LLC capacity in KiB, overriding -llc (0 = use -llc); cache-flush attack studies need sub-MiB caches")
+		insts     = fs.Int64("insts", 500_000, "measured instructions per core")
+		warmup    = fs.Int64("warmup", 0, "warmup instructions per core (default insts/10)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		prefetch  = fs.Bool("prefetch", false, "enable the stride prefetcher")
+		tlNear    = fs.Int("tl-near", 8, "TL-DRAM near-segment rows")
+		salpSub   = fs.Int("salp", 128, "SALP subarrays per bank")
+		salpOpen  = fs.Bool("salp-open", false, "SALP open-page policy")
+		hammerT   = fs.Int("hammer-threshold", 2048, "RowHammer detection threshold")
+		mitig     = fs.String("mitigation", "", "RowHammer mitigation: "+strings.Join(crow.Mitigations(), ", ")+" (default none)")
+		paraPM    = fs.Int("para-permille", 0, "PARA neighbour-refresh probability in 1/1000 per ACT (default 5 when -mitigation para)")
+		refScale  = fs.Int("refresh-scale", 0, "refresh-rate multiplier for -mitigation refresh-scale (default 4)")
+		flipHC    = fs.Int("flip-hcfirst", 0, "enable the bit-flip model with this median HC_first threshold (0 = off)")
+		flipJit   = fs.Int("flip-jitter", 0, "flip model per-row threshold jitter in percent (default 25)")
+		flipBlast = fs.Int("flip-blast", 0, "flip model distance-2 blast dose in percent of distance-1 (negative disables)")
+		flipPat   = fs.Int("flip-pattern", 0, "flip model data-pattern threshold scale in percent for the susceptible half of rows (default 75)")
+		transl    = fs.String("translation", "", "virtual-to-physical translation: "+strings.Join(crow.Translations(), ", ")+" (default hash)")
+		share     = fs.Int("table-share", 1, "CROW-table sharing group (Section 6.1)")
+		perBank   = fs.Bool("refpb", false, "use LPDDR4 per-bank refresh")
+		postpone  = fs.Int("postpone", 0, "elastic refresh postponement limit (JEDEC allows 8)")
+		verify    = fs.Bool("verify", false, "run the correctness oracle alongside the simulation and report violations")
+		compare   = fs.Bool("compare", false, "also run the baseline and report speedup/energy savings")
+		jobs      = fs.Int("j", 1, "max simulations in flight for -compare (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 1, "goroutines advancing the simulated channels within one run (results are byte-identical at any value)")
+		timeout   = fs.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		verbose   = fs.Bool("v", false, "print progress per simulation run")
+		asJSON    = fs.Bool("json", false, "emit the report as JSON")
+		list      = fs.Bool("list", false, "list available workloads and exit")
+		listStds  = fs.Bool("list-standards", false, "list registered standards, schedulers, row policies and mappings, then exit")
 
 		traceOut   = fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run (open at ui.perfetto.dev)")
 		traceCap   = fs.Int("trace-cap", 1_000_000, "event-tracer ring capacity; oldest events drop beyond it")
@@ -123,7 +132,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		TraceFiles:      splitNonEmpty(*traces),
 		CopyRows:        *copyRows,
 		DensityGbit:     *density,
-		LLCBytes:        int64(*llcMiB) << 20,
+		LLCBytes:        llcBytes(*llcMiB, *llcKiB),
 		MeasureInsts:    *insts,
 		WarmupInsts:     *warmup,
 		Seed:            *seed,
@@ -132,6 +141,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		SALPSubarrays:   *salpSub,
 		SALPOpenPage:    *salpOpen,
 		HammerThreshold: *hammerT,
+		Mitigation:      *mitig,
+		ParaPerMille:    *paraPM,
+		RefreshScale:    *refScale,
+		FlipHCFirst:     *flipHC,
+		FlipJitterPct:   *flipJit,
+		FlipBlastPct:    *flipBlast,
+		FlipPatternPct:  *flipPat,
+		Translation:     *transl,
 		TableShareGroup: *share,
 		PerBankRefresh:  *perBank,
 		RefreshPostpone: *postpone,
@@ -313,6 +330,16 @@ func printReport(w io.Writer, r crow.Report) {
 	if r.HammerRemaps > 0 {
 		fmt.Fprintf(w, "RowHammer: %d victim rows remapped\n", r.HammerRemaps)
 	}
+	if r.Mitigation != "" {
+		fmt.Fprintf(w, "mitigation: %s (%d neighbour refreshes)\n", r.Mitigation, r.MitigationRefreshes)
+	}
+	if r.Flips > 0 || r.ShieldedFlips > 0 {
+		fmt.Fprintf(w, "bit flips: %d on %d rows (%d shielded by remaps)", r.Flips, r.FlipVictimRows, r.ShieldedFlips)
+		if len(r.FlipsByCore) > 0 {
+			fmt.Fprintf(w, ", by tenant %v", r.FlipsByCore)
+		}
+		fmt.Fprintln(w)
+	}
 	e := r.EnergyNJ
 	fmt.Fprintf(w, "DRAM energy: %.0f nJ (act/pre %.0f, rd %.0f, wr %.0f, refresh %.0f, background %.0f)\n",
 		e.Total(), e.ActPre, e.Read, e.Write, e.Refresh, e.Background)
@@ -326,6 +353,16 @@ func emitJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// llcBytes resolves the two LLC size flags: -llc-kib, when set, overrides
+// the MiB-granular -llc so sub-MiB caches (the RowHammer lab's 64 KiB
+// cache-flush-attack stand-in) are expressible from the command line.
+func llcBytes(mib, kib int) int64 {
+	if kib > 0 {
+		return int64(kib) << 10
+	}
+	return int64(mib) << 20
 }
 
 func splitNonEmpty(s string) []string {

@@ -158,3 +158,23 @@ func TestShardsMustBeNonNegative(t *testing.T) {
 		t.Fatalf("err = %v, want a -shards validation error", err)
 	}
 }
+
+// TestLLCBytesFlagResolution pins the two-flag LLC sizing contract:
+// -llc-kib, when positive, overrides the MiB-granular -llc (the RowHammer
+// lab needs a 64 KiB cache no MiB value can express).
+func TestLLCBytesFlagResolution(t *testing.T) {
+	cases := []struct {
+		mib, kib int
+		want     int64
+	}{
+		{8, 0, 8 << 20},   // default: -llc alone
+		{8, 64, 64 << 10}, // -llc-kib wins
+		{1, 2048, 2 << 20},
+		{3, -1, 3 << 20}, // non-positive KiB falls back to MiB
+	}
+	for _, c := range cases {
+		if got := llcBytes(c.mib, c.kib); got != c.want {
+			t.Errorf("llcBytes(%d, %d) = %d, want %d", c.mib, c.kib, got, c.want)
+		}
+	}
+}

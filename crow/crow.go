@@ -27,6 +27,7 @@ import (
 	"crowdram/internal/core"
 	"crowdram/internal/ctrl"
 	"crowdram/internal/dram"
+	"crowdram/internal/hammer"
 	"crowdram/internal/metrics"
 	"crowdram/internal/obs"
 	"crowdram/internal/retention"
@@ -154,6 +155,42 @@ type Options struct {
 	// while demand is queued (JEDEC permits 8; elastic refresh [107]).
 	RefreshPostpone int
 
+	// Mitigation selects the RowHammer mitigation policy (registry in
+	// internal/hammer): "none" (default), "para" (probabilistic neighbour
+	// refresh), "refresh-scale" (multiplied refresh rate), or
+	// "crow-hammer" (the paper's Section 4.3 victim remap; requires a
+	// crow-* mechanism). See crow.Mitigations().
+	Mitigation string
+	// ParaPerMille is PARA's per-activation neighbour-refresh probability
+	// in 1/1000ths. Default 5 (0.5%) when Mitigation is "para".
+	ParaPerMille int
+	// RefreshScale divides the refresh interval (4 = refresh 4x as
+	// often). Default 4 when Mitigation is "refresh-scale".
+	RefreshScale int
+
+	// FlipHCFirst, when positive, attaches the RowHammer bit-flip model
+	// (internal/hammer): the nominal aggressor activation count per side
+	// at which the most vulnerable rows flip. Flips are reported in
+	// Report.Flips. Zero disables the model.
+	FlipHCFirst int
+	// FlipJitterPct spreads per-row flip thresholds uniformly over
+	// ±FlipJitterPct%. Default 25 when the flip model is on.
+	FlipJitterPct int
+	// FlipBlastPct is the ±2-neighbour dose as a percentage of the ±1
+	// dose (HammerSim's blast radius). Default 25 when the flip model is
+	// on; negative disables the ±2 radius.
+	FlipBlastPct int
+	// FlipPatternPct scales the flip threshold of the worst-data-pattern
+	// half of the rows (a seeded proxy — the trace-driven simulator
+	// carries no real data). Default 75 when the flip model is on.
+	FlipPatternPct int
+
+	// Translation selects the virtual-to-physical layout: "hash" (the
+	// default scattered-frame model) or "rowstripe" (row adjacency
+	// preserved, tenants striped row-by-row — the RowHammer lab's
+	// layout; attacker workloads need it to aim at neighbouring rows).
+	Translation string
+
 	// Verify runs the cross-layer correctness oracle alongside the
 	// simulation (shadow data memory, refresh-deadline monitor,
 	// scheduler-legality and accounting checks; see internal/oracle). Any
@@ -166,6 +203,12 @@ type Options struct {
 	MeasureInsts int64
 	// WarmupInsts precede measurement (default MeasureInsts/10).
 	WarmupInsts int64
+	// MaxMeasureCycles, when positive, caps warmup and measurement at
+	// that many CPU cycles each; runs that hit the cap report
+	// Report.Truncated. It bounds configurations that cannot make forward
+	// progress (e.g. a refresh-starved channel under -mitigation
+	// refresh-scale at an extreme factor). 0 = the generous default cap.
+	MaxMeasureCycles int64
 	// Seed drives every stochastic component. Default 1.
 	Seed int64
 }
@@ -231,6 +274,29 @@ func (o Options) withDefaults() Options {
 	if o.RowTimeoutNs == 0 {
 		o.RowTimeoutNs = 75
 	}
+	if o.Mitigation == "" {
+		o.Mitigation = "none"
+	}
+	if o.Mitigation == "para" && o.ParaPerMille == 0 {
+		o.ParaPerMille = 5
+	}
+	if o.Mitigation == "refresh-scale" && o.RefreshScale == 0 {
+		o.RefreshScale = 4
+	}
+	if o.FlipHCFirst > 0 {
+		if o.FlipJitterPct == 0 {
+			o.FlipJitterPct = 25
+		}
+		if o.FlipBlastPct == 0 {
+			o.FlipBlastPct = 25
+		}
+		if o.FlipPatternPct == 0 {
+			o.FlipPatternPct = 75
+		}
+	}
+	if o.Translation == "" {
+		o.Translation = "hash"
+	}
 	if o.MeasureInsts == 0 {
 		o.MeasureInsts = 500_000
 	}
@@ -281,6 +347,23 @@ type Report struct {
 
 	// RowRefreshOps counts RAIDR's row-granular weak-row refreshes.
 	RowRefreshOps int64
+
+	// RowHammer lab results (zero unless the flip model / a mitigation
+	// ran; see Options.FlipHCFirst and Options.Mitigation).
+	Mitigation string
+	// Flips counts bit-flip-threshold crossings on exposed rows;
+	// ShieldedFlips counts crossings absorbed by a CROW-hammer remap
+	// (the data had been moved to a copy row).
+	Flips, ShieldedFlips int64
+	// FlipVictimRows is the number of distinct rows that flipped, and
+	// FlipRows lists them (sorted by channel, rank, bank, row).
+	FlipVictimRows int
+	FlipRows       []hammer.FlipRow
+	// FlipsByCore attributes flips to the core owning each victim row
+	// (rowstripe translation only).
+	FlipsByCore []int64
+	// MitigationRefreshes counts PARA's neighbour-refresh activations.
+	MitigationRefreshes int64
 
 	// Command counts.
 	ACT, ACTt, ACTc, RD, WR, REF int64
@@ -491,11 +574,22 @@ func build(o Options) (sim.Config, core.Mechanism, error) {
 	cfg.Scheduler = o.Scheduler
 	cfg.RowPolicy = o.RowPolicy
 	cfg.Mapping = o.Mapping
+	cfg.Translation = o.Translation
+	if o.FlipHCFirst > 0 {
+		cfg.FlipModel = &hammer.Config{
+			Seed:       o.Seed,
+			HCFirst:    o.FlipHCFirst,
+			JitterPct:  o.FlipJitterPct,
+			BlastPct:   o.FlipBlastPct,
+			PatternPct: o.FlipPatternPct,
+		}
+	}
 	cfg.MaxPostpone = o.RefreshPostpone
 	cfg.Prefetch = o.Prefetch
 	cfg.Verify = o.Verify
 	cfg.WarmupInsts = o.WarmupInsts
 	cfg.MeasureInsts = o.MeasureInsts
+	cfg.MaxMeasureCycles = o.MaxMeasureCycles
 	cfg.Seed = o.Seed
 
 	var mech core.Mechanism
@@ -544,6 +638,20 @@ func build(o Options) (sim.Config, core.Mechanism, error) {
 		mech = &core.Baseline{T: cfg.T}
 	default:
 		return sim.Config{}, nil, fmt.Errorf("crow: unknown mechanism %q", o.Mechanism)
+	}
+	if o.Mitigation != "" && o.Mitigation != "none" {
+		wrapped, err := hammer.NewMitigation(o.Mitigation, hammer.MitConfig{
+			Channels:        cfg.Channels,
+			Geo:             cfg.Geo,
+			Seed:            o.Seed,
+			ParaPerMille:    o.ParaPerMille,
+			RefreshScale:    o.RefreshScale,
+			HammerThreshold: o.HammerThreshold,
+		}, mech)
+		if err != nil {
+			return sim.Config{}, nil, fmt.Errorf("crow: %w", err)
+		}
+		mech = wrapped
 	}
 	return cfg, mech, nil
 }
@@ -609,7 +717,18 @@ func report(o Options, cfg sim.Config, mech core.Mechanism, res sim.Result) Repo
 	if hm := res.Ctrl.RowHits + res.Ctrl.RowMisses; hm > 0 {
 		r.RowHitRate = float64(res.Ctrl.RowHits) / float64(hm)
 	}
-	switch m := mech.(type) {
+	if o.Mitigation != "" && o.Mitigation != "none" {
+		r.Mitigation = o.Mitigation
+	}
+	r.Flips = res.Flips.Flips
+	r.ShieldedFlips = res.Flips.Shielded
+	r.FlipVictimRows = len(res.Flips.Rows)
+	r.FlipRows = res.Flips.Rows
+	r.FlipsByCore = res.FlipsByCore
+	if sh, ok := mech.(*hammer.Shield); ok {
+		r.MitigationRefreshes = sh.NeighborRefreshes()
+	}
+	switch m := core.Unwrap(mech).(type) {
 	case *core.CROW:
 		r.CROWTableHitRate = res.CROW.HitRate()
 		r.Hits, r.Misses = res.CROW.Hits, res.CROW.Misses

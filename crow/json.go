@@ -7,6 +7,7 @@ import (
 
 	"crowdram/internal/ctrl"
 	"crowdram/internal/dram"
+	"crowdram/internal/hammer"
 	"crowdram/internal/trace"
 )
 
@@ -27,6 +28,12 @@ func RowPolicies() []string { return ctrl.RowPolicyNames() }
 
 // Mappings returns the registered address-mapping names, sorted.
 func Mappings() []string { return dram.MappingNames() }
+
+// Mitigations returns the registered RowHammer mitigation names, sorted.
+func Mitigations() []string { return hammer.MitigationNames() }
+
+// Translations returns the selectable virtual-to-physical translation modes.
+func Translations() []string { return []string{"hash", "rowstripe"} }
 
 // DecodeOptions parses Options from JSON strictly: an unknown field is an
 // error, not silence — a remote caller who misspells "CopyRows" gets a clear
@@ -87,6 +94,27 @@ func (o Options) Validate() error {
 	if d.Mechanism == SALP && d.Standard != "lpddr4" {
 		return fmt.Errorf("crow: salp supports only the lpddr4 standard, got %q", d.Standard)
 	}
+	if err := hammer.CheckMitigation(d.Mitigation); err != nil {
+		return fmt.Errorf("crow: %w", err)
+	}
+	if d.Mitigation == "crow-hammer" {
+		switch d.Mechanism {
+		case Cache, Ref, CacheRef, Hammer:
+		default:
+			return fmt.Errorf("crow: mitigation crow-hammer requires a crow-* mechanism, got %q", d.Mechanism)
+		}
+	}
+	if d.Mitigation == "para" && (d.ParaPerMille <= 0 || d.ParaPerMille > 1000) {
+		return fmt.Errorf("crow: ParaPerMille must be in (0, 1000], got %d", d.ParaPerMille)
+	}
+	if d.Mitigation == "refresh-scale" && d.RefreshScale < 2 {
+		return fmt.Errorf("crow: RefreshScale must be >= 2, got %d", d.RefreshScale)
+	}
+	switch d.Translation {
+	case "hash", "rowstripe":
+	default:
+		return fmt.Errorf("crow: unknown translation %q (want hash or rowstripe)", d.Translation)
+	}
 	if len(o.TraceFiles) > 0 {
 		if len(o.TraceFiles) > 4 {
 			return fmt.Errorf("crow: want 1-4 trace files, got %d", len(o.TraceFiles))
@@ -116,6 +144,12 @@ func (o Options) Validate() error {
 		{"RefreshPostpone", int64(d.RefreshPostpone)},
 		{"MeasureInsts", d.MeasureInsts},
 		{"WarmupInsts", d.WarmupInsts},
+		{"MaxMeasureCycles", d.MaxMeasureCycles},
+		{"ParaPerMille", int64(d.ParaPerMille)},
+		{"RefreshScale", int64(d.RefreshScale)},
+		{"FlipHCFirst", int64(d.FlipHCFirst)},
+		{"FlipJitterPct", int64(d.FlipJitterPct)},
+		{"FlipPatternPct", int64(d.FlipPatternPct)},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("crow: %s must be non-negative, got %d", f.name, f.v)

@@ -21,6 +21,13 @@ func TestOptionsJSONRoundTrip(t *testing.T) {
 		{Mechanism: SALP, SALPSubarrays: 64, SALPOpenPage: true, Seed: 7},
 		{Mechanism: TLDRAM, TLDRAMNearRows: 16, LLCBytes: 16 << 20,
 			MeasureInsts: 123_456, WarmupInsts: 12_000},
+		{Workloads: []string{"hammer-double"}, Translation: "rowstripe",
+			Mitigation: "para", ParaPerMille: 100, FlipHCFirst: 512,
+			FlipJitterPct: 25, FlipBlastPct: 30, FlipPatternPct: 75,
+			MaxMeasureCycles: 10_000_000},
+		{Mechanism: Hammer, Workloads: []string{"hammer-many", "mcf"},
+			Mitigation: "crow-hammer", HammerThreshold: 128,
+			Translation: "rowstripe", FlipHCFirst: 1024},
 	}
 	for i, o := range cases {
 		b, err := json.Marshal(o)
@@ -64,6 +71,11 @@ func TestDecodeOptionsRejectsUnknownFields(t *testing.T) {
 		`{"Workloads":["mcf"]}{"x":1}`,       // trailing document
 		`{"Workloads":"mcf"}`,                // wrong type
 		`not json`,
+		`{"Mitigatoin":"para"}`,     // misspelled mitigation knob
+		`{"FlipHCFirstt":512}`,      // misspelled flip-model knob
+		`{"Mitigation":"parra"}`,    // right knob, unknown mitigation
+		`{"Mitigation":"PARA"}`,     // registry names are lower-case
+		`{"Translation":"stripes"}`, // unknown translation mode
 	} {
 		if _, err := DecodeOptions([]byte(payload)); err == nil {
 			t.Errorf("DecodeOptions(%q) must fail", payload)
@@ -85,11 +97,20 @@ func TestValidate(t *testing.T) {
 		{"negative insts", Options{MeasureInsts: -1}, "non-negative"},
 		{"negative copyrows", Options{CopyRows: -2}, "non-negative"},
 		{"negative window", Options{RefreshWindowMS: -5}, "non-negative"},
-		{"standard", Options{Standard: "ddr9"}, `unknown standard "ddr9" (registered: ddr5, hbm2, lpddr4)`},
+		{"standard", Options{Standard: "ddr9"}, `unknown standard "ddr9" (registered: ddr4, ddr5, hbm2, lpddr4)`},
 		{"scheduler", Options{Scheduler: "rr"}, `unknown scheduler "rr" (registered: fcfs, frfcfs, frfcfs-cap)`},
 		{"row policy", Options{RowPolicy: "adaptive"}, `unknown row policy "adaptive" (registered: closed, open, timeout)`},
 		{"mapping", Options{Mapping: "colmajor"}, `unknown mapping "colmajor" (registered: robarococh, rocobarach)`},
 		{"salp standard", Options{Mechanism: SALP, Standard: "ddr5"}, "salp supports only the lpddr4 standard"},
+		{"mitigation name", Options{Mitigation: "parra"},
+			`unknown mitigation "parra" (have [crow-hammer none para refresh-scale])`},
+		{"crow-hammer mechanism", Options{Mitigation: "crow-hammer"},
+			"crow-hammer requires a crow-* mechanism"},
+		{"para probability", Options{Mitigation: "para", ParaPerMille: 1001}, "ParaPerMille"},
+		{"refresh divisor", Options{Mitigation: "refresh-scale", RefreshScale: 1}, "RefreshScale"},
+		{"translation", Options{Translation: "striped"}, "unknown translation"},
+		{"negative hcfirst", Options{FlipHCFirst: -1}, "non-negative"},
+		{"negative cap", Options{MaxMeasureCycles: -1}, "non-negative"},
 	}
 	for _, c := range bad {
 		err := c.o.Validate()
@@ -107,6 +128,13 @@ func TestValidate(t *testing.T) {
 		{TraceFiles: []string{"/tmp/a.trace"}}, // existence checked at run time
 		{Standard: "ddr5", Scheduler: "fcfs", RowPolicy: "closed", Mapping: "rocobarach"},
 		{Mechanism: Cache, Standard: "hbm2"},
+		{Standard: "ddr4"},
+		{Workloads: []string{"hammer-double"}, Translation: "rowstripe",
+			Mitigation: "para", ParaPerMille: 1, FlipHCFirst: 512},
+		{Mechanism: Hammer, Mitigation: "crow-hammer", HammerThreshold: 128},
+		{Mitigation: "refresh-scale", RefreshScale: 32, MaxMeasureCycles: 1},
+		// FlipBlastPct is deliberately signless: negative values clamp to 0.
+		{FlipBlastPct: -1},
 	}
 	for i, o := range good {
 		if err := o.Validate(); err != nil {

@@ -12,7 +12,9 @@ func TestRegistryHelpers(t *testing.T) {
 		got  []string
 		want string
 	}{
-		{"Standards", Standards(), "ddr5,hbm2,lpddr4"},
+		{"Standards", Standards(), "ddr4,ddr5,hbm2,lpddr4"},
+		{"Mitigations", Mitigations(), "crow-hammer,none,para,refresh-scale"},
+		{"Translations", Translations(), "hash,rowstripe"},
 		{"Schedulers", Schedulers(), "fcfs,frfcfs,frfcfs-cap"},
 		{"RowPolicies", RowPolicies(), "closed,open,timeout"},
 		{"Mappings", Mappings(), "robarococh,rocobarach"},
@@ -32,6 +34,7 @@ func TestStandardDefaultsInKey(t *testing.T) {
 		window string
 	}{
 		{"lpddr4", `"RefreshWindowMS":64`},
+		{"ddr4", `"RefreshWindowMS":64`},
 		{"ddr5", `"RefreshWindowMS":32`},
 		{"hbm2", `"RefreshWindowMS":32`},
 	} {
@@ -58,15 +61,17 @@ func TestStandardDefaultsInKey(t *testing.T) {
 // REFpb granularity), so a mis-threaded cycle time or refresh policy shows
 // up here as violations.
 func TestCrossStandardVerifyClean(t *testing.T) {
-	for _, std := range []string{"ddr5", "hbm2"} {
+	for _, std := range []string{"ddr4", "ddr5", "hbm2"} {
 		for _, m := range []Mechanism{Cache, Ref} {
 			t.Run(std+"/"+string(m), func(t *testing.T) {
 				rep, err := Run(Options{
-					Mechanism:    m,
-					Standard:     std,
-					Workloads:    []string{"mcf"},
-					Verify:       true,
-					MeasureInsts: 20_000,
+					Mechanism: m,
+					Standard:  std,
+					Workloads: []string{"mcf"},
+					Verify:    true,
+					// Long enough that even the fastest standard (DDR4's
+					// 16 banks run mcf past IPC 1) crosses a few tREFI.
+					MeasureInsts: 60_000,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -90,7 +95,7 @@ func TestCrossStandardVerifyClean(t *testing.T) {
 // on every standard: an uncapped scheduler with an open-page policy and the
 // bank-interleaved mapping must still satisfy the oracle.
 func TestNonDefaultPoliciesVerifyClean(t *testing.T) {
-	for _, std := range []string{"lpddr4", "ddr5", "hbm2"} {
+	for _, std := range []string{"lpddr4", "ddr4", "ddr5", "hbm2"} {
 		t.Run(std, func(t *testing.T) {
 			rep, err := Run(Options{
 				Standard:     std,

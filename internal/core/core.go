@@ -126,3 +126,17 @@ func (i *Ideal) RefreshMultiplier() int {
 	}
 	return 1
 }
+
+// Unwrap peels mechanism wrappers (mitigation shields and the like) that
+// expose their inner mechanism via an Unwrap method, returning the innermost
+// mechanism. Type asserts against concrete mechanisms (e.g. *CROW) should go
+// through it so wrapping stays transparent.
+func Unwrap(m Mechanism) Mechanism {
+	for {
+		u, ok := m.(interface{ Unwrap() Mechanism })
+		if !ok {
+			return m
+		}
+		m = u.Unwrap()
+	}
+}

@@ -107,8 +107,11 @@ type CROW struct {
 	// and the pair is restored off the critical path.
 	EagerRestore bool
 
-	// hammer activation counters per channel, keyed by rank/bank/row.
-	hammerCounts []map[int64]int
+	// hammer activation counters per channel: a contiguous array indexed
+	// by ((rank*Banks)+bank)*RowsPerBank+row, allocated lazily on the
+	// first counted activation of a channel (the same flattening PR 7
+	// applied to hitsServed/bankLast — maps were the last hot-path state).
+	hammerCounts [][]int32
 	// pendingCopies are mechanism-initiated ACT-c operations (RowHammer
 	// victim duplication) awaiting issue, per channel.
 	pendingCopies [][]CopyOp
@@ -145,10 +148,7 @@ func NewCROWShared(channels int, g dram.Geometry, t dram.Timing, share int) *CRO
 		Crow:  t.CROW(),
 		base:  t.Base(),
 	}
-	c.hammerCounts = make([]map[int64]int, channels)
-	for i := range c.hammerCounts {
-		c.hammerCounts[i] = make(map[int64]int)
-	}
+	c.hammerCounts = make([][]int32, channels)
 	c.pendingCopies = make([][]CopyOp, channels)
 	c.partials = make([][]dram.Addr, channels)
 	return c
@@ -436,8 +436,8 @@ func (c *CROW) OnRefreshRows(channel, rank, bank, startRow, n int) {
 			}
 		}
 	}
-	if startRow == 0 && len(c.hammerCounts[channel]) > 0 {
-		c.hammerCounts[channel] = make(map[int64]int)
+	if startRow == 0 && c.hammerCounts[channel] != nil {
+		clear(c.hammerCounts[channel])
 	}
 }
 
@@ -509,12 +509,16 @@ func (c *CROW) HasPendingOps(channel int) bool {
 // remaps the neighbours of a hammered row once it crosses the threshold.
 func (c *CROW) countHammer(a dram.Addr, cycle int64) {
 	g := c.Table.Geo
-	key := int64(a.Rank)<<40 | int64(a.Bank)<<32 | int64(a.Row)
 	m := c.hammerCounts[a.Channel]
-	m[key]++
+	if m == nil {
+		m = make([]int32, g.Ranks*g.Banks*g.RowsPerBank)
+		c.hammerCounts[a.Channel] = m
+	}
+	idx := ((a.Rank*g.Banks)+a.Bank)*g.RowsPerBank + a.Row
+	m[idx]++
 	// Trigger at the threshold and periodically after, so a victim whose
 	// protection was deferred (no safe copy row at the time) is retried.
-	if m[key] < c.HammerThreshold || m[key]%c.HammerThreshold != 0 {
+	if n := int(m[idx]); n < c.HammerThreshold || n%c.HammerThreshold != 0 {
 		return
 	}
 	for _, vr := range []int{a.Row - 1, a.Row + 1} {

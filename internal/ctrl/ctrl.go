@@ -228,6 +228,14 @@ type opPeeker interface {
 	HasPendingOps(int) bool
 }
 
+// refreshScaler is implemented by mechanisms (mitigation wrappers) that
+// scale the refresh rate up: the controller divides its refresh interval by
+// the reported divisor. Resolved once at construction; divisors below 2 are
+// ignored.
+type refreshScaler interface {
+	RefreshDivisor() int
+}
+
 // copyState tracks a mechanism-initiated ACT-c in flight.
 type copyState struct {
 	op     core.CopyOp
@@ -271,6 +279,9 @@ type Controller struct {
 	copySrc  copySource
 	scrubSrc scrubSource
 	opPeek   opPeeker
+	// refDiv divides the refresh interval when a mitigation scales the
+	// refresh rate (see refreshScaler); 0/1 = no scaling.
+	refDiv int
 
 	free  *Request       // request freelist (see GetRequest)
 	osBuf []dram.OpenSub // reusable open-subarray scan buffer
@@ -320,6 +331,9 @@ func New(cfg Config, mech core.Mechanism) *Controller {
 		ReadLatency: metrics.NewHistogram(),
 	}
 	c.resolvePolicies()
+	if rs, ok := mech.(refreshScaler); ok {
+		c.refDiv = rs.RefreshDivisor()
+	}
 	c.refDue = make([]int64, cfg.Geo.Ranks)
 	c.refOwed = make([]int, cfg.Geo.Ranks)
 	c.refRow = make([]int, cfg.Geo.Ranks)
@@ -407,6 +421,12 @@ func (c *Controller) refInterval() int64 {
 	iv := int64(c.Cfg.T.REFI) * int64(mult)
 	if c.refPol.PerBank() {
 		iv /= int64(c.Cfg.Geo.Banks)
+	}
+	if c.refDiv > 1 {
+		iv /= int64(c.refDiv)
+		if iv < 1 {
+			iv = 1
+		}
 	}
 	return iv
 }
@@ -725,7 +745,16 @@ func (c *Controller) serviceMechCopy(now int64) bool {
 		}
 		return false
 	}
-	// Copy activation in progress: precharge once fully restored.
+	// Copy activation in progress: precharge once fully restored. If the
+	// demand scheduler stole the bank meanwhile (a row conflict can legally
+	// precharge the copy row between tRAS and full restoration, notifying
+	// the mechanism through its own preAndNotify), the copy is already as
+	// done as it will get — waiting on CanPRE for a closed bank would wedge
+	// the mechanism-copy pipeline for the rest of the run.
+	if c.Dev.OpenRow(a) != a.Row {
+		c.pendingCopy = nil
+		return false
+	}
 	if now >= pc.actAt+int64(pc.op.Timing.RASFull) && c.Dev.CanPRE(a, now) {
 		c.preAndNotify(a, now)
 		c.pendingCopy = nil

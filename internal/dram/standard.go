@@ -153,6 +153,51 @@ func DDR5(d Density, refWindowMS float64, g Geometry) Timing {
 	}
 }
 
+// DDR4 cycle time: DDR4-3200, a 1600 MHz command clock.
+const ddr4CycleNs = 1e9 / 1600e6
+
+// DDR4 returns the timing table for a DDR4-3200 chip, following the JEDEC
+// DDR4-3200AA speed bin (tRCD/tRP 13.75 ns, tRAS 32 ns, tWR 15 ns,
+// tFAW 25 ns for x8 parts). tRFC reuses the density extrapolation table
+// shared with LPDDR4 (documented as an estimate in DESIGN.md).
+func DDR4(d Density, refWindowMS float64, g Geometry) Timing {
+	window := int64(refWindowMS * 1e6 / ddr4CycleNs)
+	return Timing{
+		RCD:        22,
+		RAS:        52,
+		RP:         22,
+		WR:         24,
+		RTP:        12,
+		WTR:        12,
+		CCD:        8,
+		RRD:        8,
+		FAW:        40,
+		CL:         22,
+		CWL:        16,
+		BL:         8,
+		RFC:        toCyclesIn(d.RFCNanos(), ddr4CycleNs),
+		RFCpb:      toCyclesIn(d.RFCNanos()/2, ddr4CycleNs),
+		REFI:       int(window / refsPerWindow),
+		RefWindow:  window,
+		RowsPerRef: g.RowsPerBank / refsPerWindow,
+		CycleNs:    ddr4CycleNs,
+	}
+}
+
+// ddr4Geometry keeps the per-channel capacity of the LPDDR4 configuration
+// (4 GiB of regular rows) in DDR4's 16-bank, 8 KiB-row organization.
+func ddr4Geometry(copyRows int) Geometry {
+	return Geometry{
+		Ranks:           1,
+		Banks:           16,
+		RowsPerBank:     32 * 1024,
+		RowsPerSubarray: 512,
+		CopyRows:        copyRows,
+		RowBytes:        8 * 1024,
+		LineBytes:       64,
+	}
+}
+
 // HBM2 cycle time: a 1000 MHz command clock (2 Gb/s/pin).
 const hbm2CycleNs = 1.0
 
@@ -223,6 +268,17 @@ func init() {
 		refWindowMS: 64,
 		geometry:    Std,
 		timing:      LPDDR4,
+	})
+	RegisterStandard(&spec{
+		name:        "ddr4",
+		cycleNs:     ddr4CycleNs,
+		ratioNum:    2, // 1600 MHz command clock vs 4 GHz cores
+		ratioDen:    5,
+		channels:    4,
+		refresh:     "allbank",
+		refWindowMS: 64,
+		geometry:    ddr4Geometry,
+		timing:      DDR4,
 	})
 	RegisterStandard(&spec{
 		name:        "ddr5",

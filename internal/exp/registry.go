@@ -72,6 +72,9 @@ func Experiments() []Experiment {
 		{Name: "refreshmodes", Kind: Ablation, Plan: RefreshModesPlan, Table: tab(RefreshModes)},
 		{Name: "hammer", Kind: Ablation, Plan: HammerAttackPlan, Table: tab(HammerAttack)},
 		{Name: "sched", Kind: Ablation, Plan: SchedulerSensitivityPlan, Table: tab(SchedulerSensitivity)},
+		{Name: "hammerlab", Kind: Ablation, Plan: HammerLabPlan, Table: tab(HammerLab)},
+		{Name: "tenant", Kind: Ablation, Plan: TenantPlan, Table: tab(Tenant)},
+		{Name: "ddr4", Kind: Ablation, Plan: DDR4Plan, Table: tab(DDR4Study)},
 		{Name: "ddr5", Kind: Ablation, Plan: DDR5Plan, Table: tab(DDR5Study)},
 		{Name: "hbm2", Kind: Ablation, Plan: HBM2Plan, Table: tab(HBM2Study)},
 	}

@@ -59,9 +59,10 @@ func TestGoldenReportsShardedFullSweep(t *testing.T) {
 
 // TestGoldenReportsShardMatrix is the deep half of the determinism matrix:
 // the three per-standard experiments (sched on LPDDR4, ddr5, hbm2 — whose
-// systems have 4, 2, and 8 channels) re-execute at every remaining
-// (shards, workers) combination and must reproduce their golden reports
-// byte-for-byte each time. Together with the serial golden suite (shards=1,
+// systems have 4, 2, and 8 channels) plus the RowHammer lab (whose flip
+// model and mitigation state live per channel and merge at report time)
+// re-execute at every remaining (shards, workers) combination and must
+// reproduce their golden reports byte-for-byte each time. Together with the serial golden suite (shards=1,
 // j∈{1,4} via TestGoldenReports) and the full sweep above (shards=8, j=4),
 // this covers the shards {1,2,max} × workers {1,4} grid the parallel tick
 // loop promises. Every combination builds a fresh runner and pool — see
@@ -70,7 +71,7 @@ func TestGoldenReportsShardMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sharded QuickScale matrix; skipped in -short")
 	}
-	exps, err := Select([]string{"sched", "ddr5", "hbm2"})
+	exps, err := Select([]string{"sched", "ddr5", "hbm2", "hammerlab", "tenant"})
 	if err != nil {
 		t.Fatal(err)
 	}

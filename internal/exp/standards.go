@@ -116,6 +116,13 @@ func (s StandardResult) Table() Table {
 	return t
 }
 
+// DDR4Plan declares the DDR4 cross-standard study's runs.
+func DDR4Plan(r *Runner) []crow.Options { return StandardPlan("ddr4")(r) }
+
+// DDR4Study runs the cross-standard study on DDR4-3200 (all-bank refresh,
+// 16 banks, 8 KiB rows).
+func DDR4Study(r *Runner) (StandardResult, error) { return StandardStudy(r, "ddr4") }
+
 // DDR5Plan declares the DDR5 cross-standard study's runs.
 func DDR5Plan(r *Runner) []crow.Options { return StandardPlan("ddr5")(r) }
 

@@ -462,6 +462,61 @@ func TestSimulationExperimentJob(t *testing.T) {
 	}
 }
 
+// TestHammerJob pins the served RowHammer path: a job carrying the attack
+// and mitigation knobs decodes into Options that reach the run executor
+// intact, and a misspelled mitigation (knob or value) is rejected at submit
+// time, before anything queues.
+func TestHammerJob(t *testing.T) {
+	var got crow.Options
+	run := func(ctx context.Context, o crow.Options) (crow.Report, error) {
+		got = o
+		return crow.Report{IPC: []float64{1}}, nil
+	}
+	_, ts := newTestService(t, Config{Run: run})
+	st, resp := postJob(t, ts, `{"options": {
+		"Workloads": ["hammer-double"], "Translation": "rowstripe",
+		"Mitigation": "para", "ParaPerMille": 100,
+		"FlipHCFirst": 512, "FlipBlastPct": 30, "MaxMeasureCycles": 10000000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	waitState(t, ts, st.ID, StateDone)
+	if got.Mitigation != "para" || got.ParaPerMille != 100 ||
+		got.FlipHCFirst != 512 || got.FlipBlastPct != 30 ||
+		got.Translation != "rowstripe" || got.MaxMeasureCycles != 10_000_000 {
+		t.Errorf("options lost fields in flight: %+v", got)
+	}
+	for name, body := range map[string]string{
+		"misspelled knob":    `{"options": {"Workloads": ["hammer-double"], "Mitigaton": "para"}}`,
+		"unknown mitigation": `{"options": {"Workloads": ["hammer-double"], "Mitigation": "parra"}}`,
+		"para out of range":  `{"options": {"Mitigation": "para", "ParaPerMille": 5000}}`,
+		"crow-hammer sans crow": `{"options": {"Mechanism": "baseline",
+			"Mitigation": "crow-hammer"}}`,
+	} {
+		if _, resp := postJob(t, ts, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHammerLabExperimentJob: the flips-vs-overhead sweep is servable by
+// name like any registry experiment.
+func TestHammerLabExperimentJob(t *testing.T) {
+	hook := newTestHook(false)
+	_, ts := newTestService(t, Config{Run: hook.run, EngineWorkers: 4})
+	st, resp := postJob(t, ts, `{"experiment": "hammerlab"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	done := waitState(t, ts, st.ID, StateDone)
+	if done.Result == nil || len(done.Result.Tables) != 1 {
+		t.Fatalf("hammerlab result = %+v", done.Result)
+	}
+	if hook.execs.Load() == 0 {
+		t.Error("hammerlab must execute simulations")
+	}
+}
+
 func mustGetJob(t *testing.T, s *Service, id string) *Job {
 	t.Helper()
 	j, err := s.Get(id)

@@ -14,6 +14,7 @@ import (
 	"crowdram/internal/ctrl"
 	"crowdram/internal/dram"
 	"crowdram/internal/energy"
+	"crowdram/internal/hammer"
 	"crowdram/internal/metrics"
 	"crowdram/internal/obs"
 	"crowdram/internal/oracle"
@@ -50,6 +51,18 @@ type Config struct {
 	// Mapping names the address-mapping layout (registry in internal/dram;
 	// empty = dram.DefaultMapping).
 	Mapping string
+
+	// Translation selects how per-core virtual addresses map to physical
+	// frames: "hash" (default, uniformly scattered 4 KiB frames) or
+	// "rowstripe" (row-span-granular striping that preserves row
+	// adjacency and interleaves tenants row-by-row — the RowHammer lab's
+	// layout, where attacker and victim own alternating physical rows).
+	Translation string
+
+	// FlipModel, when non-nil, attaches the RowHammer bit-flip model
+	// (internal/hammer) to every channel's command stream; findings are
+	// reported in Result.Flips.
+	FlipModel *hammer.Config
 
 	// RatioNum/RatioDen set the DRAM:CPU clock ratio: the command clock
 	// advances RatioNum ticks every RatioDen CPU cycles. Zero values mean
@@ -162,6 +175,13 @@ type Result struct {
 	// Verify holds the correctness oracle's findings (zero-valued unless
 	// Config.Verify was set).
 	Verify oracle.Findings
+	// Flips holds the RowHammer flip model's findings (zero-valued unless
+	// Config.FlipModel was set).
+	Flips hammer.Findings
+	// FlipsByCore attributes exposed flips to the core owning each victim
+	// row (rowstripe translation only — under the hash translation row
+	// ownership is not defined, and the slice stays nil).
+	FlipsByCore []int64
 }
 
 // System is one assembled simulation instance.
@@ -174,6 +194,7 @@ type System struct {
 	Mapper dram.AddressMapper
 	Pref   *prefetch.Prefetcher
 	Oracle *oracle.Oracle // nil unless Cfg.Verify
+	Flips  *hammer.Model  // nil unless Cfg.FlipModel
 
 	cpuCycle  int64
 	dramCycle int64
@@ -188,6 +209,9 @@ type System struct {
 	readDone func(now int64, line uint64)
 
 	physPages uint64
+	// rowSpan/tenants drive the rowstripe translation (rowSpan 0 = hash).
+	rowSpan uint64
+	tenants uint64
 
 	// shr drives the per-channel parallel DRAM tick when Cfg.Shards > 1;
 	// nil selects the serial loop. Created and torn down by RunContext.
@@ -255,6 +279,16 @@ func (p llcPort) Access(now int64, coreID int, addr uint64, write bool, done fun
 // scattered physical frames (emulating a steady-state system's randomized
 // frame allocation, Section 7 [85]), deterministically per (core, page).
 func (s *System) Translate(coreID int, vaddr uint64) uint64 {
+	if s.rowSpan > 0 {
+		// Rowstripe: virtual row-span region v of core c maps to physical
+		// region v*tenants+c, so row adjacency survives translation and
+		// tenants own alternating physical rows (the inter-VM RowHammer
+		// scenario's layout).
+		region := vaddr / s.rowSpan
+		off := vaddr % s.rowSpan
+		p := (region*s.tenants+uint64(coreID))*s.rowSpan + off
+		return p % (s.physPages << 12)
+	}
 	vpn := vaddr >> 12
 	h := uint64(coreID+1)*0x9E3779B97F4A7C15 ^ vpn*0xBF58476D1CE4E5B9
 	h ^= h >> 29
@@ -282,6 +316,17 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 	}
 	s.Mapper = mapper
 	s.physPages = uint64(s.Mapper.Capacity()) >> 12
+	switch cfg.Translation {
+	case "", "hash":
+	case "rowstripe":
+		s.rowSpan = mapper.Encode(dram.Addr{Row: 1})
+		s.tenants = uint64(len(gens))
+		if s.tenants == 0 {
+			s.tenants = 1
+		}
+	default:
+		panic("sim: unknown translation " + cfg.Translation)
+	}
 	s.Ctrls = make([]*ctrl.Controller, cfg.Channels)
 	for ch := range s.Ctrls {
 		ccfg := ctrl.DefaultConfig(ch, cfg.Geo, cfg.T)
@@ -321,6 +366,12 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 			s.Ctrls[ch].Dev.Attach(s.Oracle.Observer(ch))
 		}
 	}
+	if cfg.FlipModel != nil {
+		s.Flips = hammer.New(*cfg.FlipModel, cfg.Channels, cfg.Geo, cfg.T)
+		for ch := range s.Ctrls {
+			s.Ctrls[ch].Dev.Attach(s.Flips.Observer(ch))
+		}
+	}
 	if cfg.Obs.Enabled() {
 		cfg.Obs.Bind(cfg.Channels, cfg.Geo, cfg.T)
 		for ch := range s.Ctrls {
@@ -329,7 +380,7 @@ func New(cfg Config, mech core.Mechanism, gens []trace.Generator) *System {
 			}
 			s.Ctrls[ch].Obs = cfg.Obs.SchedObserver(ch)
 		}
-		if cw, ok := mech.(*core.CROW); ok {
+		if cw, ok := core.Unwrap(mech).(*core.CROW); ok {
 			cw.Obs = cfg.Obs.TableObserver()
 		}
 	}
@@ -462,6 +513,12 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	}
 	// Warmup.
 	warmLimit := s.Cfg.WarmupInsts*int64(len(s.Cores))*10_000 + 10_000_000
+	if s.Cfg.MaxMeasureCycles > 0 && warmLimit > s.Cfg.MaxMeasureCycles {
+		// A capped run bounds warmup too: a configuration that can make no
+		// forward progress (e.g. a refresh-starved channel) would otherwise
+		// spin out the full warmup allowance before the cap even applies.
+		warmLimit = s.Cfg.MaxMeasureCycles
+	}
 	for !s.allReached(s.Cfg.WarmupInsts) && s.cpuCycle < warmLimit {
 		s.tick()
 		if s.cpuCycle&cancelCheckMask == 0 && ctx.Err() != nil {
@@ -485,7 +542,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 		ctrlSnap = append(ctrlSnap, c.Stats)
 	}
 	var crowSnap core.Stats
-	if cw, ok := s.Mech.(*core.CROW); ok {
+	if cw, ok := core.Unwrap(s.Mech).(*core.CROW); ok {
 		crowSnap = cw.Stats
 	}
 	for _, c := range s.Ctrls {
@@ -569,7 +626,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 	}
 	res.ReadP50Ns = allLat.Percentile(50) * s.Cfg.T.CycleTime()
 	res.ReadP99Ns = allLat.Percentile(99) * s.Cfg.T.CycleTime()
-	if cw, ok := s.Mech.(*core.CROW); ok {
+	if cw, ok := core.Unwrap(s.Mech).(*core.CROW); ok {
 		res.CROW = diffCROW(cw.Stats, crowSnap)
 	}
 	s.Cfg.Obs.Finish(s.dramCycle)
@@ -579,6 +636,19 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 			s.Oracle.CheckStats(ch, c.Dev.Stats)
 		}
 		res.Verify = s.Oracle.Findings()
+	}
+	if s.Flips != nil {
+		res.Flips = s.Flips.Findings()
+		if s.rowSpan > 0 && s.tenants > 0 {
+			res.FlipsByCore = make([]int64, len(s.Cores))
+			for _, fr := range res.Flips.Rows {
+				a := dram.Addr{Channel: fr.Channel, Rank: fr.Rank, Bank: fr.Bank, Row: fr.Row}
+				owner := int((s.Mapper.Encode(a) / s.rowSpan) % s.tenants)
+				if owner < len(res.FlipsByCore) {
+					res.FlipsByCore[owner] += fr.Flips
+				}
+			}
+		}
 	}
 	return res, nil
 }
@@ -590,7 +660,7 @@ func (s *System) RunContext(ctx context.Context) (Result, error) {
 // activations reuse the plain ACT command for rows the shadow memory cannot
 // distinguish). The refresh, cap, and accounting checks apply regardless.
 func shadowDataApplies(mech core.Mechanism) bool {
-	switch mech.(type) {
+	switch core.Unwrap(mech).(type) {
 	case *core.Ideal, *tldram.Mechanism:
 		return false
 	}

@@ -81,6 +81,16 @@ var Apps = []App{
 	// activations concentrated on a tiny set of rows, with no cacheable
 	// locality (every access is a fresh line of a random hot row).
 	{Name: "hammer", Class: High, Synthetic: true, Spec: Spec{Pattern: Rand, WSS: 256 * kib, Bubbles: 0, WriteFrac: 0, Burst: 1}},
+	// RowHammer attacker shapes (see hammer.go): row-adjacency-aware
+	// aggressor streams for the attack/defense lab, meant to run under the
+	// rowstripe translation so virtual row adjacency survives to DRAM. WSS
+	// is the footprint bound (highest aggressor region + 1) × 256 KiB
+	// region: single/halfdouble reach the base+64 decoy row, double stops
+	// at base+2, many at base+2×7.
+	{Name: "hammer-single", Class: High, Synthetic: true, Spec: Spec{Hammer: "single", WSS: 73 * 256 * kib}},
+	{Name: "hammer-double", Class: High, Synthetic: true, Spec: Spec{Hammer: "double", WSS: 11 * 256 * kib}},
+	{Name: "hammer-many", Class: High, Synthetic: true, Spec: Spec{Hammer: "many", WSS: 23 * 256 * kib}},
+	{Name: "hammer-halfdouble", Class: High, Synthetic: true, Spec: Spec{Hammer: "halfdouble", WSS: 73 * 256 * kib}},
 }
 
 // ByName returns the named app.

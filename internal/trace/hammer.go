@@ -1,0 +1,88 @@
+package trace
+
+// hammerGen emits the classic RowHammer attacker access streams. An
+// "aggressor region" is the address range [row*HammerRowBytes,
+// (row+1)*HammerRowBytes): under the rowstripe translation (sim.Config
+// Translation "rowstripe") it covers exactly the DRAM rows with index `row`
+// across every channel and bank, so hammering a region hammers that row
+// index system-wide. The generator round-robins one access per region and
+// walks the line offset forward after each full sweep, which (a) makes every
+// access to a given bank alternate aggressor rows — a guaranteed row
+// conflict, i.e. one activation per access, the cache-flush hammering loop —
+// and (b) cycles a footprint of len(regions)*HammerRowBytes bytes, far past
+// the small LLCs the hammer experiments configure, so the LLC absorbs
+// nothing.
+//
+// Patterns:
+//
+//	single     — one aggressor row plus a far decoy row (the decoy forces
+//	             the row conflicts; only the aggressor's neighbours take
+//	             meaningful dose).
+//	double     — two aggressors at row distance 2; the row between is
+//	             double-dosed.
+//	many       — HammerRows aggressors at distance 2 (many-sided, TRR
+//	             evasion shape); every row between is double-dosed.
+//	halfdouble — a far aggressor pair plus the near row between hammered
+//	             at 1/8 rate (the half-double escalation shape: the far
+//	             row's ±2 blast combines with the near row's ±1 dose).
+type hammerGen struct {
+	spec    Spec
+	rowB    uint64
+	lines   uint64 // lines per region
+	regions []int  // aggressor row indices, visited round-robin
+	near    int    // half-double near aggressor (-1 = none)
+	cur     int
+	col     uint64
+	tick    uint64
+}
+
+// hammerBaseRow keeps aggressors away from row 0 so every victim (down to
+// row base-2) exists and the refresh sweep's wrap point is not special.
+const hammerBaseRow = 8
+
+func newHammerGen(spec Spec) Generator {
+	g := &hammerGen{spec: spec, rowB: spec.HammerRowBytes, near: -1}
+	if g.rowB == 0 {
+		g.rowB = 256 * 1024
+	}
+	g.lines = g.rowB / lineBytes
+	rows := spec.HammerRows
+	if rows <= 0 {
+		rows = 8
+	}
+	base := hammerBaseRow
+	switch spec.Hammer {
+	case "single":
+		g.regions = []int{base, base + 64}
+	case "double":
+		g.regions = []int{base, base + 2}
+	case "many":
+		for i := 0; i < rows; i++ {
+			g.regions = append(g.regions, base+2*i)
+		}
+	case "halfdouble":
+		g.regions = []int{base, base + 64}
+		g.near = base + 1
+	default:
+		panic("trace: unknown hammer pattern " + spec.Hammer)
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *hammerGen) Next() Record {
+	g.tick++
+	row := 0
+	if g.near >= 0 && g.tick%8 == 0 {
+		row = g.near
+	} else {
+		row = g.regions[g.cur]
+		g.cur++
+		if g.cur == len(g.regions) {
+			g.cur = 0
+			g.col++
+		}
+	}
+	off := (g.col % g.lines) * lineBytes
+	return Record{Bubbles: g.spec.Bubbles, Addr: uint64(row)*g.rowB + off}
+}

@@ -70,6 +70,18 @@ type Spec struct {
 	// returns to one of the last few regions instead of drawing a fresh
 	// one (short-term row reuse of pointer-chasing codes).
 	Revisit float64
+	// Hammer selects a RowHammer attacker pattern ("single", "double",
+	// "many", "halfdouble"); when set it overrides Pattern (see
+	// hammer.go).
+	Hammer string
+	// HammerRowBytes is the address stride between successive DRAM row
+	// indices under the rowstripe translation (default 256 KiB, the
+	// default 4-channel layout's row span). Attackers aim at row-adjacent
+	// addresses, so they need the stride, not the full mapping.
+	HammerRowBytes uint64
+	// HammerRows is the aggressor count for the many-sided pattern
+	// (default 8).
+	HammerRows int
 }
 
 type generator struct {
@@ -98,6 +110,9 @@ const (
 
 // New builds a deterministic generator for the spec with the given seed.
 func New(spec Spec, seed int64) Generator {
+	if spec.Hammer != "" {
+		return newHammerGen(spec)
+	}
 	g := &generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
 	if spec.Burst <= 0 {
 		g.spec.Burst = 1
