@@ -31,6 +31,7 @@ import (
 	"crowdram/crow"
 	"crowdram/internal/engine"
 	"crowdram/internal/exp"
+	"crowdram/internal/obs"
 	"crowdram/internal/service"
 )
 
@@ -60,8 +61,17 @@ func run() error {
 		storeMaxMB   = flag.Int64("store-max-mb", 0, "on-disk cap for -store in MiB; least-recently-used results are evicted (0 = unbounded)")
 		retainJobs   = flag.Int("retain-jobs", 0, "finished jobs kept visible in the job table (0 = default 512, negative = unlimited)")
 		retainFor    = flag.Duration("retain-for", 0, "age after which finished jobs leave the job table (0 = no TTL)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log line format: text, json")
+		slowJob      = flag.Duration("slow-job", 0, "warn about jobs whose admission-to-done wall time exceeds this (0 = off)")
+		spanCap      = flag.Int("span-cap", 0, "per-job span ring capacity (0 = default 4096, negative = disable span tracing)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	var backing engine.Backing[crow.Report]
 	if *storeDir != "" {
@@ -70,8 +80,9 @@ func run() error {
 			return fmt.Errorf("open result store: %w", err)
 		}
 		stats := st.Stats()
-		fmt.Fprintf(os.Stderr, "crowserve: result store %s: %d results, %.1f MiB on disk\n",
-			*storeDir, stats.Files, float64(stats.Bytes)/(1<<20))
+		logger.Info("result store opened",
+			"dir", *storeDir, "results", stats.Files,
+			"disk_mib", float64(stats.Bytes)/(1<<20))
 		backing = st
 	}
 
@@ -87,6 +98,9 @@ func run() error {
 		Backing:           backing,
 		RetainJobs:        *retainJobs,
 		RetainFor:         *retainFor,
+		Logger:            logger,
+		SlowJob:           *slowJob,
+		SpanCapacity:      *spanCap,
 	})
 	handler := svc.Handler()
 	if *enablePprof {
@@ -106,8 +120,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "crowserve: listening on %s (%d workers, queue %d)\n",
-			*addr, *workers, *queueDepth)
+		logger.Info("listening",
+			"addr", *addr, "workers", *workers, "queue", *queueDepth)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -119,7 +133,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "crowserve: %v: draining (new submissions get 503)\n", s)
+		logger.Info("draining", "signal", s.String())
 	}
 
 	// Drain the job service first so inflight work completes, then close
@@ -128,17 +142,17 @@ func run() error {
 	defer cancel()
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "crowserve: second signal, cancelling inflight jobs")
+		logger.Warn("second signal, cancelling inflight jobs")
 		cancel()
 	}()
 	if err := svc.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "crowserve: drain cut short: %v\n", err)
+		logger.Warn("drain cut short", "error", err)
 	}
 	shutdownCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
 	defer stop()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "crowserve: drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }

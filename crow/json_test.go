@@ -97,7 +97,7 @@ func TestValidate(t *testing.T) {
 		{"negative insts", Options{MeasureInsts: -1}, "non-negative"},
 		{"negative copyrows", Options{CopyRows: -2}, "non-negative"},
 		{"negative window", Options{RefreshWindowMS: -5}, "non-negative"},
-		{"standard", Options{Standard: "ddr9"}, `unknown standard "ddr9" (registered: ddr4, ddr5, hbm2, lpddr4)`},
+		{"standard", Options{Standard: "ddr9"}, `unknown standard "ddr9" (registered: ddr4, ddr5, hbm2, lpddr4, lpddr5)`},
 		{"scheduler", Options{Scheduler: "rr"}, `unknown scheduler "rr" (registered: fcfs, frfcfs, frfcfs-cap)`},
 		{"row policy", Options{RowPolicy: "adaptive"}, `unknown row policy "adaptive" (registered: closed, open, timeout)`},
 		{"mapping", Options{Mapping: "colmajor"}, `unknown mapping "colmajor" (registered: robarococh, rocobarach)`},

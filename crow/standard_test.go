@@ -12,7 +12,7 @@ func TestRegistryHelpers(t *testing.T) {
 		got  []string
 		want string
 	}{
-		{"Standards", Standards(), "ddr4,ddr5,hbm2,lpddr4"},
+		{"Standards", Standards(), "ddr4,ddr5,hbm2,lpddr4,lpddr5"},
 		{"Mitigations", Mitigations(), "crow-hammer,none,para,refresh-scale"},
 		{"Translations", Translations(), "hash,rowstripe"},
 		{"Schedulers", Schedulers(), "fcfs,frfcfs,frfcfs-cap"},
@@ -37,6 +37,7 @@ func TestStandardDefaultsInKey(t *testing.T) {
 		{"ddr4", `"RefreshWindowMS":64`},
 		{"ddr5", `"RefreshWindowMS":32`},
 		{"hbm2", `"RefreshWindowMS":32`},
+		{"lpddr5", `"RefreshWindowMS":32`},
 	} {
 		key := Options{Standard: c.std}.Key()
 		if !strings.Contains(key, c.window) {
@@ -61,7 +62,7 @@ func TestStandardDefaultsInKey(t *testing.T) {
 // REFpb granularity), so a mis-threaded cycle time or refresh policy shows
 // up here as violations.
 func TestCrossStandardVerifyClean(t *testing.T) {
-	for _, std := range []string{"ddr4", "ddr5", "hbm2"} {
+	for _, std := range []string{"ddr4", "ddr5", "hbm2", "lpddr5"} {
 		for _, m := range []Mechanism{Cache, Ref} {
 			t.Run(std+"/"+string(m), func(t *testing.T) {
 				rep, err := Run(Options{
@@ -95,7 +96,7 @@ func TestCrossStandardVerifyClean(t *testing.T) {
 // on every standard: an uncapped scheduler with an open-page policy and the
 // bank-interleaved mapping must still satisfy the oracle.
 func TestNonDefaultPoliciesVerifyClean(t *testing.T) {
-	for _, std := range []string{"lpddr4", "ddr4", "ddr5", "hbm2"} {
+	for _, std := range []string{"lpddr4", "ddr4", "ddr5", "hbm2", "lpddr5"} {
 		t.Run(std, func(t *testing.T) {
 			rep, err := Run(Options{
 				Standard:     std,

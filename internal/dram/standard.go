@@ -229,6 +229,55 @@ func HBM2(d Density, refWindowMS float64, g Geometry) Timing {
 	}
 }
 
+// LPDDR5 cycle time: LPDDR5-6400, an 800 MHz command clock (CK). Data moves
+// on the 4:1 WCK, but every timing parameter the controller schedules against
+// is specified in CK cycles, so CK is the command clock the simulator ticks.
+const lpddr5CycleNs = 1e9 / 800e6
+
+// LPDDR5 returns the timing table for an LPDDR5-6400 chip. Core timings
+// follow the JEDEC LPDDR5 nanosecond spec (tRCD 18 ns, tRAS 42 ns, tRPpb
+// 18 ns, tWR 34 ns, tFAW 20 ns) rounded to the 1.25 ns CK; a 64-byte line is
+// a 4-CK burst on the 4:1 WCK. tRFC reuses the density extrapolation table
+// shared with LPDDR4 (documented as an estimate in DESIGN.md), with the
+// per-bank tRFCpb as half of tRFCab as in LPDDR4.
+func LPDDR5(d Density, refWindowMS float64, g Geometry) Timing {
+	window := int64(refWindowMS * 1e6 / lpddr5CycleNs)
+	return Timing{
+		RCD:        15,
+		RAS:        34,
+		RP:         15,
+		WR:         27,
+		RTP:        6,
+		WTR:        8,
+		CCD:        4,
+		RRD:        6,
+		FAW:        16,
+		CL:         15,
+		CWL:        9,
+		BL:         4,
+		RFC:        toCyclesIn(d.RFCNanos(), lpddr5CycleNs),
+		RFCpb:      toCyclesIn(d.RFCNanos()/2, lpddr5CycleNs),
+		REFI:       int(window / refsPerWindow),
+		RefWindow:  window,
+		RowsPerRef: g.RowsPerBank / refsPerWindow,
+		CycleNs:    lpddr5CycleNs,
+	}
+}
+
+// lpddr5Geometry keeps the per-channel capacity of the LPDDR4 configuration
+// (4 GiB of regular rows) in LPDDR5's 16-bank organization.
+func lpddr5Geometry(copyRows int) Geometry {
+	return Geometry{
+		Ranks:           1,
+		Banks:           16,
+		RowsPerBank:     32 * 1024,
+		RowsPerSubarray: 512,
+		CopyRows:        copyRows,
+		RowBytes:        8 * 1024,
+		LineBytes:       64,
+	}
+}
+
 // ddr5Geometry keeps the per-channel capacity of the LPDDR4 configuration
 // (4 GiB of regular rows) while moving to DDR5's 32-bank organization.
 func ddr5Geometry(copyRows int) Geometry {
@@ -268,6 +317,17 @@ func init() {
 		refWindowMS: 64,
 		geometry:    Std,
 		timing:      LPDDR4,
+	})
+	RegisterStandard(&spec{
+		name:        "lpddr5",
+		cycleNs:     lpddr5CycleNs,
+		ratioNum:    1, // 800 MHz command clock vs 4 GHz cores
+		ratioDen:    5,
+		channels:    4,
+		refresh:     "perbank",
+		refWindowMS: 32,
+		geometry:    lpddr5Geometry,
+		timing:      LPDDR5,
 	})
 	RegisterStandard(&spec{
 		name:        "ddr4",

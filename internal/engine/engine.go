@@ -70,6 +70,10 @@ type Event struct {
 	Type  EventType
 	Key   string
 	Label string // human-readable job description
+	// Time is when the event fired (stamped at emission). Observers that
+	// rebuild a job's timeline — the crowserve span recorder — anchor their
+	// derived intervals on it.
+	Time time.Time
 	// Duration is the job's execution time (EventFinished only).
 	Duration time.Duration
 	// Err is the job's failure (EventFinished only).
@@ -79,6 +83,17 @@ type Event struct {
 	Pending int
 	// Progress is the mid-execution payload (EventProgress only).
 	Progress any
+	// Lookup is the memo-consult cost: for EventCacheHit, Do-entry to
+	// result availability (including the wait on an in-flight execution);
+	// for EventQueued/EventStoreHit, the time spent deciding the request
+	// was a memo miss.
+	Lookup time.Duration
+	// StoreRead is the Backing.Get duration (EventStoreHit and, with a
+	// backing tier attached, EventQueued — the read that missed).
+	StoreRead time.Duration
+	// StoreWrite is the write-behind Backing.Put duration (EventFinished
+	// after a successful execution with a backing tier).
+	StoreWrite time.Duration
 }
 
 // Observer receives events. Implementations need no internal locking: the
@@ -107,6 +122,15 @@ type Snapshot struct {
 	// Failures counts executions that returned an error (these entries
 	// are evicted, so a later request retries).
 	Failures int64 `json:"failures"`
+	// QueuedTotal counts jobs that ever entered the queue (monotonic, so
+	// rate() over a scrape works; Queued above is the instantaneous gauge).
+	QueuedTotal int64 `json:"queued_total"`
+	// StartedTotal counts jobs that acquired a worker slot and began
+	// executing.
+	StartedTotal int64 `json:"started_total"`
+	// DoneTotal counts executions that completed successfully
+	// (StartedTotal - DoneTotal - Failures = currently executing).
+	DoneTotal int64 `json:"done_total"`
 }
 
 // HitRatio returns (CacheHits + StoreHits) / (CacheHits + StoreHits +
@@ -159,6 +183,10 @@ type Pool[V any] struct {
 	cacheHits  int64
 	storeHits  int64
 	failures   int64
+
+	queuedTotal  int64
+	startedTotal int64
+	doneTotal    int64
 }
 
 // entry is one memoized job: done closes when the result is available.
@@ -239,18 +267,24 @@ func (p *Pool[V]) Snapshot() Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Snapshot{
-		Queued:     p.queued,
-		Inflight:   p.inflight,
-		Entries:    len(p.entries),
-		Executions: p.executions,
-		CacheHits:  p.cacheHits,
-		StoreHits:  p.storeHits,
-		Failures:   p.failures,
+		Queued:       p.queued,
+		Inflight:     p.inflight,
+		Entries:      len(p.entries),
+		Executions:   p.executions,
+		CacheHits:    p.cacheHits,
+		StoreHits:    p.storeHits,
+		Failures:     p.failures,
+		QueuedTotal:  p.queuedTotal,
+		StartedTotal: p.startedTotal,
+		DoneTotal:    p.doneTotal,
 	}
 }
 
 // emit delivers an event under a lock so observers need none of their own.
 func (p *Pool[V]) emit(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
 	p.obsMu.Lock()
 	defer p.obsMu.Unlock()
 	for _, obs := range p.obs {
@@ -272,6 +306,7 @@ func (p *Pool[V]) pendingCount() int {
 // reads through to it before executing and a successful execution writes
 // back to it.
 func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Context) (V, error)) (V, error) {
+	t0 := time.Now()
 	for {
 		p.mu.Lock()
 		if e, ok := p.entries[key]; ok {
@@ -288,7 +323,7 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 				p.mu.Lock()
 				p.cacheHits++
 				p.mu.Unlock()
-				p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount()})
+				p.emit(Event{Type: EventCacheHit, Key: key, Label: label, Pending: p.pendingCount(), Lookup: time.Since(t0)})
 				return e.val, e.err
 			case <-ctx.Done():
 				var zero V
@@ -299,19 +334,24 @@ func (p *Pool[V]) Do(ctx context.Context, key, label string, fn func(context.Con
 		p.entries[key] = e
 		p.pending++
 		p.queued++
+		p.queuedTotal++
 		p.mu.Unlock()
-		return p.execute(ctx, key, label, e, fn)
+		return p.execute(ctx, key, label, e, time.Since(t0), fn)
 	}
 }
 
 // execute owns a freshly-created entry: consult the backing tier, then run
 // fn under a worker slot and publish the result.
-func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], fn func(context.Context) (V, error)) (V, error) {
+func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], lookup time.Duration, fn func(context.Context) (V, error)) (V, error) {
 	// Read-through: a backing hit completes the entry without queueing or
 	// executing. Coalesced callers arriving during the read wait on e.done
 	// as usual, so one Get serves them all.
+	var readDur time.Duration
 	if p.backing != nil {
-		if v, ok := p.backing.Get(key); ok {
+		g0 := time.Now()
+		v, ok := p.backing.Get(key)
+		readDur = time.Since(g0)
+		if ok {
 			p.mu.Lock()
 			e.val = v
 			p.pending--
@@ -319,12 +359,12 @@ func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], f
 			p.storeHits++
 			p.mu.Unlock()
 			close(e.done)
-			p.emit(Event{Type: EventStoreHit, Key: key, Label: label, Pending: p.pendingCount()})
+			p.emit(Event{Type: EventStoreHit, Key: key, Label: label, Pending: p.pendingCount(), Lookup: lookup, StoreRead: readDur})
 			return v, nil
 		}
 	}
 
-	p.emit(Event{Type: EventQueued, Key: key, Label: label, Pending: p.pendingCount()})
+	p.emit(Event{Type: EventQueued, Key: key, Label: label, Pending: p.pendingCount(), Lookup: lookup, StoreRead: readDur})
 
 	// Acquire a worker slot (or give up on cancellation: forget the
 	// entry so a later call can retry). An already-expired context must
@@ -347,6 +387,7 @@ func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], f
 	p.queued--
 	p.inflight++
 	p.executions++
+	p.startedTotal++
 	p.mu.Unlock()
 
 	p.emit(Event{Type: EventStarted, Key: key, Label: label, Pending: p.pendingCount()})
@@ -369,6 +410,8 @@ func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], f
 		// waiters still receive the error; a later Do retries.
 		p.failures++
 		delete(p.entries, key)
+	} else {
+		p.doneTotal++
 	}
 	p.mu.Unlock()
 	close(e.done)
@@ -376,11 +419,14 @@ func (p *Pool[V]) execute(ctx context.Context, key, label string, e *entry[V], f
 	// Write-behind: persist after the result is published, so coalesced
 	// waiters never wait on the disk. The executing caller absorbs the
 	// write, which keeps "job done" ⇒ "result durable" for its submitter.
+	var putDur time.Duration
 	if err == nil && p.backing != nil {
+		w0 := time.Now()
 		p.backing.Put(key, val)
+		putDur = time.Since(w0)
 	}
 
-	p.emit(Event{Type: EventFinished, Key: key, Label: label, Duration: dur, Err: err, Pending: p.pendingCount()})
+	p.emit(Event{Type: EventFinished, Key: key, Label: label, Duration: dur, Err: err, Pending: p.pendingCount(), StoreWrite: putDur})
 	return val, err
 }
 

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestEventTimingFields: the observer stream carries enough timing to rebuild
+// a job's pipeline after the fact — every event is stamped, the queued event
+// reports the memo-lookup and (missed) store-read costs, the finished event
+// reports the write-behind cost, and a later cache hit reports its lookup.
+func TestEventTimingFields(t *testing.T) {
+	b := newMapBacking()
+	var events []Event
+	p := New(1, WithBacking[int](b), WithObserver[int](func(e Event) { events = append(events, e) }))
+
+	before := time.Now()
+	if _, err := p.Do(context.Background(), "k", "k", func(context.Context) (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Do(context.Background(), "k", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	byType := map[EventType]Event{}
+	for _, e := range events {
+		byType[e.Type] = e
+		if e.Time.Before(before) || e.Time.After(time.Now()) {
+			t.Errorf("%v event stamped %v, outside the test's run", e.Type, e.Time)
+		}
+	}
+	q, ok := byType[EventQueued]
+	if !ok {
+		t.Fatal("no queued event")
+	}
+	if q.Lookup < 0 || q.StoreRead <= 0 {
+		t.Errorf("queued event lookup=%v storeRead=%v; the missed backing read must be timed", q.Lookup, q.StoreRead)
+	}
+	f, ok := byType[EventFinished]
+	if !ok {
+		t.Fatal("no finished event")
+	}
+	if f.StoreWrite <= 0 {
+		t.Errorf("finished event storeWrite=%v; the write-behind must be timed", f.StoreWrite)
+	}
+	h, ok := byType[EventCacheHit]
+	if !ok {
+		t.Fatal("no cache-hit event")
+	}
+	if h.Lookup < 0 {
+		t.Errorf("cache-hit lookup=%v", h.Lookup)
+	}
+
+	// A fresh pool over the same backing store-hits, timing the read.
+	events = nil
+	p2 := New(1, WithBacking[int](b), WithObserver[int](func(e Event) { events = append(events, e) }))
+	if _, err := p2.Do(context.Background(), "k", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != EventStoreHit {
+		t.Fatalf("events = %v, want one store-hit", events)
+	}
+	if events[0].StoreRead <= 0 {
+		t.Errorf("store-hit storeRead=%v; the backing read must be timed", events[0].StoreRead)
+	}
+}
+
+// TestSnapshotLifetimeCounters: queued/started/done totals are monotonic and
+// account for hits (which skip the queue) and failures (started but not done).
+func TestSnapshotLifetimeCounters(t *testing.T) {
+	p := New[int](2)
+	ctx := context.Background()
+	for i, key := range []string{"a", "b", "a"} { // "a" repeats: memo hit
+		_, err := p.Do(ctx, key, key, func(context.Context) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Do(ctx, "boom", "boom", func(context.Context) (int, error) {
+		return 0, errors.New("kaput")
+	}); err == nil {
+		t.Fatal("failing job reported success")
+	}
+
+	s := p.Snapshot()
+	if s.QueuedTotal != 3 || s.StartedTotal != 3 {
+		t.Errorf("queuedTotal=%d startedTotal=%d, want 3/3 (two fresh + one failure; the hit never queues)", s.QueuedTotal, s.StartedTotal)
+	}
+	if s.DoneTotal != 2 || s.Failures != 1 {
+		t.Errorf("doneTotal=%d failures=%d, want 2/1", s.DoneTotal, s.Failures)
+	}
+}

@@ -77,6 +77,7 @@ func Experiments() []Experiment {
 		{Name: "ddr4", Kind: Ablation, Plan: DDR4Plan, Table: tab(DDR4Study)},
 		{Name: "ddr5", Kind: Ablation, Plan: DDR5Plan, Table: tab(DDR5Study)},
 		{Name: "hbm2", Kind: Ablation, Plan: HBM2Plan, Table: tab(HBM2Study)},
+		{Name: "lpddr5", Kind: Ablation, Plan: LPDDR5Plan, Table: tab(LPDDR5Study)},
 	}
 }
 

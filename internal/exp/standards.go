@@ -135,3 +135,10 @@ func HBM2Plan(r *Runner) []crow.Options { return StandardPlan("hbm2")(r) }
 // HBM2Study runs the cross-standard study on HBM2 (pseudo-channels,
 // per-bank refresh).
 func HBM2Study(r *Runner) (StandardResult, error) { return StandardStudy(r, "hbm2") }
+
+// LPDDR5Plan declares the LPDDR5 cross-standard study's runs.
+func LPDDR5Plan(r *Runner) []crow.Options { return StandardPlan("lpddr5")(r) }
+
+// LPDDR5Study runs the cross-standard study on LPDDR5-6400 (16 banks,
+// per-bank refresh) — the mobile successor to the paper's LPDDR4 baseline.
+func LPDDR5Study(r *Runner) (StandardResult, error) { return StandardStudy(r, "lpddr5") }

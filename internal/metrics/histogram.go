@@ -106,6 +106,37 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.max
 }
 
+// BucketCount is one histogram bucket: the count of values in
+// (Upper/2, Upper] (bucket 0 additionally holds values below 1).
+type BucketCount struct {
+	Upper float64
+	Count int64
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's distribution, the
+// raw material for Prometheus histogram exposition (whose cumulative `le`
+// buckets a renderer derives by running-summing Buckets).
+type HistSnapshot struct {
+	Count   int64
+	Sum     float64
+	Buckets []BucketCount
+}
+
+// Snapshot copies the histogram's distribution: the non-empty buckets in
+// ascending order, each with its per-bucket (non-cumulative) count and
+// power-of-two upper edge. Empty buckets are omitted — a cumulative-bucket
+// renderer loses nothing by their absence. An empty histogram snapshots to
+// no buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count, Sum: h.sum}
+	for k := 0; k < histBuckets; k++ {
+		if h.buckets[k] > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Upper: math.Pow(2, float64(k+1)), Count: h.buckets[k]})
+		}
+	}
+	return s
+}
+
 // Reset discards every recorded value, returning the histogram to its
 // freshly-constructed state (used at measurement start, after warmup).
 func (h *Histogram) Reset() {

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger the service layer and cmd/crowserve
+// share: level is one of debug/info/warn/error, format one of text/json.
+// Every job-correlated line the service emits carries a trace_id attribute,
+// so `grep trace_id=<id>` (text) or a jq filter (json) reconstructs one
+// job's story from a busy server's log.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (choose debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (choose text, json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded services (tests, benchmarks) that did not configure logging.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -146,6 +146,79 @@ func BenchmarkSubmitQueuePop(b *testing.B) {
 	}
 }
 
+// benchSpans is the span-overhead A/B body behind CI's span-overhead gate:
+// each iteration submits a fresh-seeded job whose real QuickScale simulation
+// executes (never a cache or store hit), so the measured work matches what a
+// production job pays and the span plumbing's fixed per-job cost is weighed
+// against it — the same whole-run A/B scheme as the obs-smoke gate.
+func benchSpans(b *testing.B, spanCap int) {
+	s := New(Config{
+		Scale:        exp.QuickScale(),
+		Workers:      1,
+		SpanCapacity: spanCap,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := Spec{Options: json.RawMessage(fmt.Sprintf(
+			`{"Mechanism": "crow-cache", "Workloads": ["gcc"], "Seed": %d}`, i+2))}
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitTerminal(j)
+	}
+	b.StopTimer()
+	if snap := s.EngineSnapshot(); snap.Executions != int64(b.N) {
+		b.Fatalf("span bench executed %d simulations, want %d (every job must run cold)", snap.Executions, b.N)
+	}
+}
+
+// BenchmarkSpansOn measures the job pipeline with span recording enabled.
+func BenchmarkSpansOn(b *testing.B) { benchSpans(b, 0) }
+
+// BenchmarkSpansOff measures the identical pipeline with span recording
+// disabled (SpanCapacity -1): no rings, no span events, no stage histograms.
+func BenchmarkSpansOff(b *testing.B) { benchSpans(b, -1) }
+
+// benchSpanPath isolates the serving-layer span cost with an instant hook
+// run: the absolute per-job ns the spans add (recorded artifact; the gate
+// uses the realistic BenchmarkSpans* pair above).
+func benchSpanPath(b *testing.B, spanCap int) {
+	s := New(Config{
+		Scale:        exp.QuickScale(),
+		Workers:      4,
+		SpanCapacity: spanCap,
+		Run: func(_ context.Context, o crow.Options) (crow.Report, error) {
+			return crow.Report{IPC: make([]float64, len(o.Workloads))}, nil
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	spec := Spec{Options: json.RawMessage(`{"Mechanism": "crow-cache", "Workloads": ["gcc"]}`)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitTerminal(j)
+	}
+}
+
+// BenchmarkSpanPathOn measures raw serving overhead with spans enabled.
+func BenchmarkSpanPathOn(b *testing.B) { benchSpanPath(b, 0) }
+
+// BenchmarkSpanPathOff is BenchmarkSpanPathOn's spans-disabled twin.
+func BenchmarkSpanPathOff(b *testing.B) { benchSpanPath(b, -1) }
+
 // waitTerminal blocks on the job's event log until a terminal state lands.
 func waitTerminal(j *Job) {
 	n := 0

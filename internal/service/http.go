@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 	"crowdram/internal/store"
 )
 
@@ -20,6 +21,7 @@ import (
 //	GET    /v1/jobs             list jobs, newest first
 //	GET    /v1/jobs/{id}        status + result
 //	GET    /v1/jobs/{id}/events SSE stream: replay, then follow to terminal
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON of the job's spans
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             200 ok / 503 draining
 //	GET    /metrics             queue, workers, engine cache, HTTP latency
@@ -35,6 +37,7 @@ func (s *Service) Handler() http.Handler {
 	handle("GET /v1/jobs", s.handleList)
 	handle("GET /v1/jobs/{id}", s.handleGet)
 	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
@@ -54,6 +57,7 @@ type apiError struct {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	var spec Spec
 	dec := json.NewDecoder(body)
@@ -65,6 +69,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(spec)
 	switch {
 	case err == nil:
+		// The admitting request is the job's first pipeline stage: body
+		// read, decode, validation, and queue admission.
+		s.recordSpan(j, obs.Span{
+			Trace: j.Trace(), Stage: obs.StageHTTP,
+			Start: start, DurationMS: durMS(time.Since(start)),
+		})
 		writeJSON(w, http.StatusAccepted, j.Status())
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
@@ -150,6 +160,21 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves the job's recorded spans as Chrome trace-event JSON —
+// loadable in Perfetto on its own, or concatenable with the simulator's
+// crowtrace export (the job track sits at its own pid above the banks).
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	spans, dropped := j.TraceSpans()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteJobTrace(w, j.ID, j.Trace(), spans, dropped)
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -171,22 +196,35 @@ type Metrics struct {
 		Busy  int `json:"busy"`
 	} `json:"workers"`
 	Engine struct {
-		Queued     int     `json:"queued"`
-		Inflight   int     `json:"inflight"`
-		Entries    int     `json:"entries"`
-		Executions int64   `json:"executions"`
-		CacheHits  int64   `json:"cache_hits"`
-		StoreHits  int64   `json:"store_hits"`
-		Failures   int64   `json:"failures"`
-		HitRatio   float64 `json:"hit_ratio"`
+		Queued       int     `json:"queued"`
+		Inflight     int     `json:"inflight"`
+		Entries      int     `json:"entries"`
+		Executions   int64   `json:"executions"`
+		CacheHits    int64   `json:"cache_hits"`
+		StoreHits    int64   `json:"store_hits"`
+		Failures     int64   `json:"failures"`
+		HitRatio     float64 `json:"hit_ratio"`
+		QueuedTotal  int64   `json:"queued_total"`
+		StartedTotal int64   `json:"started_total"`
+		DoneTotal    int64   `json:"done_total"`
 	} `json:"engine"`
 	EngineWorkers int              `json:"engine_workers"`
 	Jobs          map[State]int    `json:"jobs"`
 	HTTP          map[string]Stats `json:"http"`
+	// Stages summarizes pipeline-stage span durations across all jobs,
+	// keyed by stage name; every stage is present even before any span
+	// lands on it.
+	Stages map[string]Stats `json:"stages"`
 	// Store is the persistent result store's footprint and counters, when
 	// the service runs with one whose Backing implementation exposes
 	// store.Stats (the disk store does).
 	Store *store.Stats `json:"store,omitempty"`
+
+	// HTTPHist and StageHist carry the full bucket distributions behind
+	// HTTP and Stages for the Prometheus rendering; the JSON document keeps
+	// its historical summary shape.
+	HTTPHist  map[string]metrics.HistSnapshot `json:"-"`
+	StageHist map[string]metrics.HistSnapshot `json:"-"`
 }
 
 // Metrics assembles the current metrics document.
@@ -206,6 +244,9 @@ func (s *Service) Metrics() Metrics {
 	m.Engine.StoreHits = es.StoreHits
 	m.Engine.Failures = es.Failures
 	m.Engine.HitRatio = es.HitRatio()
+	m.Engine.QueuedTotal = es.QueuedTotal
+	m.Engine.StartedTotal = es.StartedTotal
+	m.Engine.DoneTotal = es.DoneTotal
 	if st, ok := s.cfg.Backing.(interface{ Stats() store.Stats }); ok {
 		stats := st.Stats()
 		m.Store = &stats
@@ -218,7 +259,8 @@ func (s *Service) Metrics() Metrics {
 	for _, j := range s.Jobs() {
 		m.Jobs[j.State()]++
 	}
-	m.HTTP = s.http.snapshot()
+	m.HTTP, m.HTTPHist = s.http.snapshot()
+	m.Stages, m.StageHist = s.stages.snapshot()
 	return m
 }
 
@@ -277,18 +319,64 @@ func (h *httpStats) instrument(pattern string, next http.HandlerFunc) http.Handl
 	})
 }
 
-func (h *httpStats) snapshot() map[string]Stats {
+func (h *httpStats) snapshot() (map[string]Stats, map[string]metrics.HistSnapshot) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make(map[string]Stats, len(h.routes))
+	hists := make(map[string]metrics.HistSnapshot, len(h.routes))
 	for route, hist := range h.routes {
-		out[route] = Stats{
-			Count:  hist.Count(),
-			MeanMS: hist.Mean(),
-			P50MS:  hist.Percentile(50),
-			P99MS:  hist.Percentile(99),
-			MaxMS:  hist.Max(),
-		}
+		out[route] = statsOf(hist)
+		hists[route] = hist.Snapshot()
 	}
-	return out
+	return out, hists
+}
+
+// statsOf summarizes one histogram into the JSON Stats shape.
+func statsOf(hist *metrics.Histogram) Stats {
+	return Stats{
+		Count:  hist.Count(),
+		MeanMS: hist.Mean(),
+		P50MS:  hist.Percentile(50),
+		P99MS:  hist.Percentile(99),
+		MaxMS:  hist.Max(),
+	}
+}
+
+// stageStats aggregates pipeline-stage span durations service-wide, one
+// histogram per stage. All stages are registered at construction so the
+// /metrics stage series exist (at zero) before any span lands.
+type stageStats struct {
+	mu     sync.Mutex
+	stages map[obs.Stage]*metrics.Histogram
+}
+
+func newStageStats() *stageStats {
+	st := &stageStats{stages: make(map[obs.Stage]*metrics.Histogram, 6)}
+	for _, stage := range obs.Stages() {
+		st.stages[stage] = metrics.NewHistogram()
+	}
+	return st
+}
+
+func (st *stageStats) observe(stage obs.Stage, ms float64) {
+	st.mu.Lock()
+	hist, ok := st.stages[stage]
+	if !ok {
+		hist = metrics.NewHistogram()
+		st.stages[stage] = hist
+	}
+	hist.Add(ms)
+	st.mu.Unlock()
+}
+
+func (st *stageStats) snapshot() (map[string]Stats, map[string]metrics.HistSnapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]Stats, len(st.stages))
+	hists := make(map[string]metrics.HistSnapshot, len(st.stages))
+	for stage, hist := range st.stages {
+		out[string(stage)] = statsOf(hist)
+		hists[string(stage)] = hist.Snapshot()
+	}
+	return out, hists
 }

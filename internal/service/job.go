@@ -68,10 +68,12 @@ type Result struct {
 // EventKind classifies job event-log records.
 type EventKind string
 
-// Event kinds: state transitions and engine per-run progress.
+// Event kinds: state transitions, engine per-run progress, and pipeline
+// stage spans.
 const (
 	KindState EventKind = "state"
 	KindRun   EventKind = "run"
+	KindSpan  EventKind = "span"
 )
 
 // Event is one record of a job's append-only event log, the unit the SSE
@@ -86,6 +88,8 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 	// Run is the engine progress record (KindRun only).
 	Run *RunEvent `json:"run,omitempty"`
+	// Span is the completed pipeline-stage span (KindSpan only).
+	Span *obs.Span `json:"span,omitempty"`
 }
 
 // RunEvent mirrors one engine observer event belonging to the job's plan.
@@ -117,6 +121,9 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	trace obs.TraceID
+	spans *obs.SpanRecorder // nil when span recording is disabled
 
 	cancelRequested bool
 	cancel          func() // run-context cancel; nil until running
@@ -169,6 +176,42 @@ func (j *Job) setState(s State, errMsg string) {
 	j.append(Event{Kind: KindState, State: s, Error: errMsg})
 }
 
+// addSpan records a completed pipeline-stage span: into the ring (backing
+// GET /v1/jobs/{id}/trace) and onto the event log (backing SSE replay and
+// follow). Spans arriving after the job went terminal are dropped, matching
+// recordRun — the terminal state event stays the last on the log. Returns
+// whether the span was recorded (false when disabled or terminal), so the
+// caller keeps service-wide aggregates consistent with the job's log.
+func (j *Job) addSpan(sp obs.Span) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.spans == nil {
+		return false
+	}
+	j.spans.Record(sp)
+	j.append(Event{Kind: KindSpan, Span: &sp})
+	return true
+}
+
+// Trace returns the job's trace ID ("" before admission stamping).
+func (j *Job) Trace() obs.TraceID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// TraceSpans returns a copy of the job's retained spans and the count of
+// spans the bounded ring dropped (0, 0-len when recording is disabled).
+func (j *Job) TraceSpans() (spans []obs.Span, dropped int64) {
+	j.mu.Lock()
+	rec := j.spans
+	j.mu.Unlock()
+	if rec == nil {
+		return nil, 0
+	}
+	return rec.Spans(), rec.Dropped()
+}
+
 // recordRun appends an engine progress event.
 func (j *Job) recordRun(e engine.Event) {
 	j.mu.Lock()
@@ -212,6 +255,7 @@ func (j *Job) EventsSince(seq int) (evs []Event, changed <-chan struct{}, termin
 type Status struct {
 	ID         string          `json:"id"`
 	State      State           `json:"state"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	Experiment string          `json:"experiment,omitempty"`
 	Options    json.RawMessage `json:"options,omitempty"`
 	Priority   int             `json:"priority,omitempty"`
@@ -229,6 +273,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:         j.ID,
 		State:      j.state,
+		TraceID:    string(j.trace),
 		Experiment: j.spec.Experiment,
 		Options:    j.spec.Options,
 		Priority:   j.spec.Priority,

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"crowdram/internal/metrics"
+	"crowdram/internal/obs"
 )
 
 // PromContentType is the Prometheus text exposition format version served by
@@ -44,6 +47,9 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	c("crowserve_engine_cache_hits_total", "Requests served from the memo cache or a coalesced in-flight run.", m.Engine.CacheHits)
 	c("crowserve_engine_store_hits_total", "Requests served from the persistent result store without executing.", m.Engine.StoreHits)
 	c("crowserve_engine_failures_total", "Simulation executions that returned an error.", m.Engine.Failures)
+	c("crowserve_engine_runs_queued_total", "Simulations that ever entered the engine queue.", m.Engine.QueuedTotal)
+	c("crowserve_engine_runs_started_total", "Simulations that acquired an engine slot and began executing.", m.Engine.StartedTotal)
+	c("crowserve_engine_runs_done_total", "Simulations that completed successfully.", m.Engine.DoneTotal)
 	g("crowserve_engine_cache_hit_ratio", "(cache_hits + store_hits) / (cache_hits + store_hits + executions).", m.Engine.HitRatio)
 
 	if m.Store != nil {
@@ -67,18 +73,48 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 		fmt.Fprintf(w, "crowserve_jobs{state=%q} %d\n", st, m.Jobs[State(st)])
 	}
 
-	fmt.Fprintf(w, "# HELP crowserve_http_request_duration_ms HTTP request latency by route (SSE streams record their full lifetime).\n# TYPE crowserve_http_request_duration_ms summary\n")
-	routes := make([]string, 0, len(m.HTTP))
-	for r := range m.HTTP {
-		routes = append(routes, r)
+	writeHistogramFamily(w, "crowserve_http_request_duration_ms",
+		"HTTP request latency by route (SSE streams record their full lifetime).",
+		"route", routeOrder(m.HTTPHist), m.HTTPHist)
+
+	stageNames := make([]string, 0, len(obs.Stages()))
+	for _, st := range obs.Stages() {
+		if _, ok := m.StageHist[string(st)]; ok {
+			stageNames = append(stageNames, string(st))
+		}
 	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		st := m.HTTP[r]
-		fmt.Fprintf(w, "crowserve_http_request_duration_ms{route=%q,quantile=\"0.5\"} %g\n", r, st.P50MS)
-		fmt.Fprintf(w, "crowserve_http_request_duration_ms{route=%q,quantile=\"0.99\"} %g\n", r, st.P99MS)
-		fmt.Fprintf(w, "crowserve_http_request_duration_ms_sum{route=%q} %g\n", r, st.MeanMS*float64(st.Count))
-		fmt.Fprintf(w, "crowserve_http_request_duration_ms_count{route=%q} %d\n", r, st.Count)
-	}
+	writeHistogramFamily(w, "crowserve_stage_duration_ms",
+		"Job pipeline stage duration (span telemetry).",
+		"stage", stageNames, m.StageHist)
 	return nil
+}
+
+// routeOrder returns a snapshot map's keys sorted, for deterministic output.
+func routeOrder(hists map[string]metrics.HistSnapshot) []string {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeHistogramFamily renders one labeled histogram family in the
+// Prometheus exposition format: cumulative `le` buckets derived from the
+// log2 snapshot, a +Inf bucket, and _sum/_count per label value. Empty
+// histograms still render their +Inf bucket and _sum/_count, so the series
+// exist from the first scrape.
+func writeHistogramFamily(w io.Writer, name, help, label string, order []string, hists map[string]metrics.HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, key := range order {
+		h := hists[key]
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, key, b.Upper, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, key, h.Count)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, key, h.Sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, key, h.Count)
+	}
 }

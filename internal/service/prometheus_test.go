@@ -3,15 +3,26 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
 
 	"crowdram/crow"
+	"crowdram/internal/metrics"
 	"crowdram/internal/obs"
 	"crowdram/internal/store"
 )
+
+// snap builds a deterministic histogram snapshot from literal values.
+func snap(vals ...float64) metrics.HistSnapshot {
+	h := metrics.NewHistogram()
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h.Snapshot()
+}
 
 // fixedMetrics builds a fully-populated Metrics value with deterministic
 // numbers for the golden rendering test.
@@ -30,12 +41,31 @@ func fixedMetrics() Metrics {
 	m.Engine.StoreHits = 3
 	m.Engine.Failures = 1
 	m.Engine.HitRatio = 0.4
+	m.Engine.QueuedTotal = 8
+	m.Engine.StartedTotal = 7
+	m.Engine.DoneTotal = 6
 	m.EngineWorkers = 8
 	m.Store = &store.Stats{Files: 12, Bytes: 4096, Hits: 3, Misses: 7, Corrupt: 1, Writes: 6, Evictions: 2, Errors: 0}
 	m.Jobs = map[State]int{StateDone: 4, StateFailed: 1, StateRunning: 2}
 	m.HTTP = map[string]Stats{
-		"POST /v1/jobs": {Count: 10, MeanMS: 1.5, P50MS: 1, P99MS: 4, MaxMS: 5},
+		"POST /v1/jobs": {Count: 3, MeanMS: 3.17, P50MS: 4, P99MS: 8, MaxMS: 5},
 		"GET /healthz":  {Count: 2, MeanMS: 0.5, P50MS: 0.5, P99MS: 0.5, MaxMS: 0.5},
+	}
+	m.HTTPHist = map[string]metrics.HistSnapshot{
+		"POST /v1/jobs": snap(1.5, 3, 5),
+		"GET /healthz":  snap(0.5, 0.5),
+	}
+	m.Stages = map[string]Stats{
+		"queue-wait": {Count: 1, MeanMS: 1.5},
+		"execute":    {Count: 1, MeanMS: 40},
+	}
+	m.StageHist = map[string]metrics.HistSnapshot{
+		"http-handle": snap(),
+		"queue-wait":  snap(1.5),
+		"memo-lookup": snap(),
+		"store-read":  snap(),
+		"execute":     snap(40),
+		"store-write": snap(),
 	}
 	return m
 }
@@ -81,6 +111,15 @@ crowserve_engine_store_hits_total 3
 # HELP crowserve_engine_failures_total Simulation executions that returned an error.
 # TYPE crowserve_engine_failures_total counter
 crowserve_engine_failures_total 1
+# HELP crowserve_engine_runs_queued_total Simulations that ever entered the engine queue.
+# TYPE crowserve_engine_runs_queued_total counter
+crowserve_engine_runs_queued_total 8
+# HELP crowserve_engine_runs_started_total Simulations that acquired an engine slot and began executing.
+# TYPE crowserve_engine_runs_started_total counter
+crowserve_engine_runs_started_total 7
+# HELP crowserve_engine_runs_done_total Simulations that completed successfully.
+# TYPE crowserve_engine_runs_done_total counter
+crowserve_engine_runs_done_total 6
 # HELP crowserve_engine_cache_hit_ratio (cache_hits + store_hits) / (cache_hits + store_hits + executions).
 # TYPE crowserve_engine_cache_hit_ratio gauge
 crowserve_engine_cache_hit_ratio 0.4
@@ -114,15 +153,39 @@ crowserve_jobs{state="done"} 4
 crowserve_jobs{state="failed"} 1
 crowserve_jobs{state="running"} 2
 # HELP crowserve_http_request_duration_ms HTTP request latency by route (SSE streams record their full lifetime).
-# TYPE crowserve_http_request_duration_ms summary
-crowserve_http_request_duration_ms{route="GET /healthz",quantile="0.5"} 0.5
-crowserve_http_request_duration_ms{route="GET /healthz",quantile="0.99"} 0.5
+# TYPE crowserve_http_request_duration_ms histogram
+crowserve_http_request_duration_ms_bucket{route="GET /healthz",le="2"} 2
+crowserve_http_request_duration_ms_bucket{route="GET /healthz",le="+Inf"} 2
 crowserve_http_request_duration_ms_sum{route="GET /healthz"} 1
 crowserve_http_request_duration_ms_count{route="GET /healthz"} 2
-crowserve_http_request_duration_ms{route="POST /v1/jobs",quantile="0.5"} 1
-crowserve_http_request_duration_ms{route="POST /v1/jobs",quantile="0.99"} 4
-crowserve_http_request_duration_ms_sum{route="POST /v1/jobs"} 15
-crowserve_http_request_duration_ms_count{route="POST /v1/jobs"} 10
+crowserve_http_request_duration_ms_bucket{route="POST /v1/jobs",le="2"} 1
+crowserve_http_request_duration_ms_bucket{route="POST /v1/jobs",le="4"} 2
+crowserve_http_request_duration_ms_bucket{route="POST /v1/jobs",le="8"} 3
+crowserve_http_request_duration_ms_bucket{route="POST /v1/jobs",le="+Inf"} 3
+crowserve_http_request_duration_ms_sum{route="POST /v1/jobs"} 9.5
+crowserve_http_request_duration_ms_count{route="POST /v1/jobs"} 3
+# HELP crowserve_stage_duration_ms Job pipeline stage duration (span telemetry).
+# TYPE crowserve_stage_duration_ms histogram
+crowserve_stage_duration_ms_bucket{stage="http-handle",le="+Inf"} 0
+crowserve_stage_duration_ms_sum{stage="http-handle"} 0
+crowserve_stage_duration_ms_count{stage="http-handle"} 0
+crowserve_stage_duration_ms_bucket{stage="queue-wait",le="2"} 1
+crowserve_stage_duration_ms_bucket{stage="queue-wait",le="+Inf"} 1
+crowserve_stage_duration_ms_sum{stage="queue-wait"} 1.5
+crowserve_stage_duration_ms_count{stage="queue-wait"} 1
+crowserve_stage_duration_ms_bucket{stage="memo-lookup",le="+Inf"} 0
+crowserve_stage_duration_ms_sum{stage="memo-lookup"} 0
+crowserve_stage_duration_ms_count{stage="memo-lookup"} 0
+crowserve_stage_duration_ms_bucket{stage="store-read",le="+Inf"} 0
+crowserve_stage_duration_ms_sum{stage="store-read"} 0
+crowserve_stage_duration_ms_count{stage="store-read"} 0
+crowserve_stage_duration_ms_bucket{stage="execute",le="64"} 1
+crowserve_stage_duration_ms_bucket{stage="execute",le="+Inf"} 1
+crowserve_stage_duration_ms_sum{stage="execute"} 40
+crowserve_stage_duration_ms_count{stage="execute"} 1
+crowserve_stage_duration_ms_bucket{stage="store-write",le="+Inf"} 0
+crowserve_stage_duration_ms_sum{stage="store-write"} 0
+crowserve_stage_duration_ms_count{stage="store-write"} 0
 `
 
 // TestWritePrometheusGolden pins the exposition format byte-for-byte: any
@@ -158,7 +221,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 	if err := json.Unmarshal(body, &doc); err != nil {
 		t.Fatalf("default /metrics is not JSON: %v", err)
 	}
-	for _, key := range []string{"queue", "workers", "engine", "engine_workers", "jobs", "http"} {
+	for _, key := range []string{"queue", "workers", "engine", "engine_workers", "jobs", "http", "stages"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("JSON document lost top-level key %q", key)
 		}
@@ -178,6 +241,14 @@ func TestMetricsContentNegotiation(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "# TYPE crowserve_queue_depth gauge") {
 		t.Errorf("prometheus body missing typed metrics:\n%s", body)
+	}
+	// Every pipeline stage's histogram series exists from the first scrape,
+	// even before any span lands on it.
+	for _, stage := range obs.Stages() {
+		series := fmt.Sprintf("crowserve_stage_duration_ms_bucket{stage=%q,le=\"+Inf\"}", string(stage))
+		if !strings.Contains(string(body), series) {
+			t.Errorf("prometheus body missing stage series %s", series)
+		}
 	}
 
 	// ?format=prometheus (curl convenience, no header needed).

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"crowdram/crow"
 	"crowdram/internal/engine"
 	"crowdram/internal/exp"
+	"crowdram/internal/obs"
 )
 
 // ErrBadRequest wraps submission-validation failures; the HTTP layer maps
@@ -76,6 +78,19 @@ type Config struct {
 	// Run substitutes the simulation executor (default crow.RunContext);
 	// tests inject context-aware hooks here.
 	Run func(context.Context, crow.Options) (crow.Report, error)
+	// Logger receives the service's structured log lines; every
+	// job-correlated line carries the job's trace_id. Nil discards them
+	// (the embedded-service default).
+	Logger *slog.Logger
+	// SlowJob, when positive, logs a Warn line (with the job's trace ID
+	// and stage breakdown pointers) for any job whose admission-to-done
+	// wall time exceeds it. 0 disables the slow-job log.
+	SlowJob time.Duration
+	// SpanCapacity bounds each job's span ring: 0 selects
+	// obs.DefaultSpanCapacity, negative disables span recording entirely
+	// (no rings, no span events, no stage histograms fed — the
+	// spans-off arm of the overhead gate).
+	SpanCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Run == nil {
 		c.Run = crow.RunContext
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -115,7 +133,9 @@ type Service struct {
 	forceStop  context.CancelFunc
 	workerDone sync.WaitGroup
 
-	http *httpStats
+	log    *slog.Logger
+	http   *httpStats
+	stages *stageStats
 }
 
 // New builds the service and starts its workers.
@@ -136,7 +156,9 @@ func New(cfg Config) *Service {
 		jobs:      make(map[string]*Job),
 		baseCtx:   ctx,
 		forceStop: cancel,
+		log:       cfg.Logger,
 		http:      newHTTPStats(),
+		stages:    newStageStats(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerDone.Add(1)
@@ -183,6 +205,10 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	id := fmt.Sprintf("j%06d", s.seq)
 	j := newJob(id, spec, s.seq)
 	j.opts, j.exps = opts, exps
+	j.trace = obs.NewTraceID()
+	if s.cfg.SpanCapacity >= 0 {
+		j.spans = obs.NewSpanRecorder(s.cfg.SpanCapacity)
+	}
 	s.jobs[id] = j
 	s.mu.Unlock()
 
@@ -192,6 +218,9 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
+	s.log.Info("job admitted",
+		"job", id, "trace_id", j.trace,
+		"experiment", spec.Experiment, "priority", spec.Priority)
 	return j, nil
 }
 
@@ -359,12 +388,21 @@ func (s *Service) runJob(j *Job) {
 	ctx, cancel := jobContext(s.baseCtx, j.submitted, timeout)
 	j.cancel = cancel
 	alreadyCancelled := j.cancelRequested
+	trace, submitted := j.trace, j.submitted
 	j.mu.Unlock()
 	defer cancel()
 	if alreadyCancelled {
 		j.setState(StateCancelled, "cancelled while queued")
+		s.log.Info("job cancelled", "job", j.ID, "trace_id", trace, "while", "queued")
 		return
 	}
+	ctx = obs.WithTrace(ctx, trace)
+
+	picked := time.Now()
+	s.recordSpan(j, obs.Span{
+		Trace: trace, Stage: obs.StageQueueWait,
+		Start: submitted, DurationMS: durMS(picked.Sub(submitted)),
+	})
 
 	ropts := []exp.RunnerOption{
 		exp.UsePool(s.pool),
@@ -397,13 +435,20 @@ func (s *Service) runJob(j *Job) {
 	remove := s.pool.AddObserver(func(e engine.Event) {
 		if keys[e.Key] {
 			j.recordRun(e)
+			for _, sp := range spansFromEvent(trace, e) {
+				s.recordSpan(j, sp)
+			}
 		}
 	})
 	defer remove()
 
 	j.setState(StateRunning, "")
+	s.log.Info("job started",
+		"job", j.ID, "trace_id", trace,
+		"queue_wait_ms", durMS(picked.Sub(submitted)), "runs", len(plan))
 
 	result, err := s.execute(runner, j, plan)
+	wall := time.Since(submitted)
 	if err != nil {
 		j.mu.Lock()
 		wasCancelled := j.cancelRequested
@@ -411,10 +456,13 @@ func (s *Service) runJob(j *Job) {
 		switch {
 		case wasCancelled && errors.Is(err, context.Canceled):
 			j.setState(StateCancelled, "cancelled")
+			s.log.Info("job cancelled", "job", j.ID, "trace_id", trace, "while", "running")
 		case errors.Is(err, context.DeadlineExceeded):
 			j.setState(StateFailed, "deadline exceeded: "+err.Error())
+			s.log.Warn("job failed", "job", j.ID, "trace_id", trace, "error", err.Error(), "wall_ms", durMS(wall))
 		default:
 			j.setState(StateFailed, err.Error())
+			s.log.Warn("job failed", "job", j.ID, "trace_id", trace, "error", err.Error(), "wall_ms", durMS(wall))
 		}
 		return
 	}
@@ -422,6 +470,73 @@ func (s *Service) runJob(j *Job) {
 	j.result = result
 	j.mu.Unlock()
 	j.setState(StateDone, "")
+	s.log.Info("job done", "job", j.ID, "trace_id", trace, "wall_ms", durMS(wall))
+	if s.cfg.SlowJob > 0 && wall > s.cfg.SlowJob {
+		spans, _ := j.TraceSpans()
+		var execMS, waitMS float64
+		for _, sp := range spans {
+			switch sp.Stage {
+			case obs.StageExecute:
+				execMS += sp.DurationMS
+			case obs.StageQueueWait:
+				waitMS += sp.DurationMS
+			}
+		}
+		s.log.Warn("slow job",
+			"job", j.ID, "trace_id", trace,
+			"wall_ms", durMS(wall), "threshold_ms", durMS(s.cfg.SlowJob),
+			"queue_wait_ms", waitMS, "execute_ms", execMS,
+			"trace_url", "/v1/jobs/"+j.ID+"/trace")
+	}
+}
+
+// durMS converts a duration to float milliseconds (the wire/log unit).
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// recordSpan routes one completed span to the job (ring + event log) and the
+// service-wide per-stage histograms. A nil-ring job (spans disabled) or a
+// terminal job feeds neither.
+func (s *Service) recordSpan(j *Job, sp obs.Span) {
+	if j.addSpan(sp) {
+		s.stages.observe(sp.Stage, sp.DurationMS)
+	}
+}
+
+// spansFromEvent derives pipeline-stage spans from one engine observer
+// event. The engine stamps each event with its emission time and the
+// durations of the phases just behind it, so the spans are reconstructed
+// back-to-front: an event at T whose phases took a then b yields
+// [T-a-b, T-b) and [T-b, T).
+func spansFromEvent(trace obs.TraceID, e engine.Event) []obs.Span {
+	span := func(stage obs.Stage, end time.Time, d time.Duration) obs.Span {
+		return obs.Span{
+			Trace: trace, Stage: stage, Name: e.Label,
+			Start: end.Add(-d), DurationMS: durMS(d),
+		}
+	}
+	switch e.Type {
+	case engine.EventCacheHit:
+		// Lookup covers Do entry to result availability (including any
+		// wait on an in-flight execution).
+		return []obs.Span{span(obs.StageMemoLookup, e.Time, e.Lookup)}
+	case engine.EventQueued, engine.EventStoreHit:
+		// Do entry → memo check (Lookup) → backing read (StoreRead, zero
+		// without a backing tier) → emission.
+		out := []obs.Span{span(obs.StageMemoLookup, e.Time.Add(-e.StoreRead), e.Lookup)}
+		if e.StoreRead > 0 {
+			out = append(out, span(obs.StageStoreRead, e.Time, e.StoreRead))
+		}
+		return out
+	case engine.EventFinished:
+		// fn return (Duration behind it) → write-behind Put (StoreWrite)
+		// → emission.
+		out := []obs.Span{span(obs.StageExecute, e.Time.Add(-e.StoreWrite), e.Duration)}
+		if e.StoreWrite > 0 {
+			out = append(out, span(obs.StageStoreWrite, e.Time, e.StoreWrite))
+		}
+		return out
+	}
+	return nil
 }
 
 // execute runs the job's plan and assembles its result.
